@@ -1,0 +1,137 @@
+// Ablation benchmarks for the design choices of the communication task
+// (DESIGN.md §5): SIF prefetch streaming, write-combining flush
+// granularity, vDMA burst and slot sizes, and the small-message direct
+// threshold. Each reports the resulting throughput (or latency) as a
+// custom metric.
+package vscc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vscc/internal/harness"
+	"vscc/internal/npb"
+	"vscc/internal/vscc"
+)
+
+// BenchmarkAblationSIFStreaming isolates the prefetch-to-device stream
+// behind the cached local-put/remote-get scheme.
+func BenchmarkAblationSIFStreaming(b *testing.B) {
+	for _, mode := range []string{"streaming", "no-streaming"} {
+		b.Run(mode, func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				on, off, err := harness.AblateSIFStreaming(65536, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "streaming" {
+					mbps = on
+				} else {
+					mbps = off
+				}
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationWCBFlush sweeps the host write-combining flush
+// threshold under the remote-put scheme.
+func BenchmarkAblationWCBFlush(b *testing.B) {
+	for _, fb := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("%dB", fb), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.AblateWCBFlush(65536, 2, []int{fb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = res[fb]
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationDMABurst sweeps the host DMA burst size under the
+// vDMA scheme.
+func BenchmarkAblationDMABurst(b *testing.B) {
+	for _, burst := range []int{256, 1024, 3424} {
+		b.Run(fmt.Sprintf("%dB", burst), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.AblateDMABurst(65536, 2, []int{burst})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = res[burst]
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationVDMASlot sweeps the vDMA double-buffer slot size —
+// the pipelining choice that removes the 8 kB slope.
+func BenchmarkAblationVDMASlot(b *testing.B) {
+	for _, slot := range []int{512, 1024, 2048, 3424} {
+		b.Run(fmt.Sprintf("%dB", slot), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.AblateVDMASlot(65536, 2, []int{slot})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = res[slot]
+			}
+			b.ReportMetric(mbps, "MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationDirectThreshold compares small-message latency with
+// and without the direct-transfer path (§3.3).
+func BenchmarkAblationDirectThreshold(b *testing.B) {
+	for _, mode := range []string{"direct", "host-engaged"} {
+		b.Run(mode, func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				direct, engaged, err := harness.AblateDirectThreshold(vscc.SchemeVDMA, 64, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "direct" {
+					cycles = float64(direct)
+				} else {
+					cycles = float64(engaged)
+				}
+			}
+			b.ReportMetric(cycles, "cycles/msg")
+		})
+	}
+}
+
+// BenchmarkLUSchemeSensitivity contrasts the latency-bound LU workload
+// (extension) under the optimal and worst inter-device schemes — LU's
+// per-plane pencil messages amplify the latency gap far beyond BT's.
+func BenchmarkLUSchemeSensitivity(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		scheme vscc.Scheme
+	}{{"vdma", vscc.SchemeVDMA}, {"routing", vscc.SchemeRouting}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var gf float64
+			for i := 0; i < b.N; i++ {
+				pt, err := harness.LURun(harness.BTSweepConfig{
+					Class: npb.ClassA, Iterations: 1, Scheme: cfg.scheme, Devices: 2,
+				}, 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gf = pt.GFlops
+			}
+			b.ReportMetric(gf, "GFLOP/s")
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Command traffic regenerates the paper's Figure 8: the NPB BT
+// communication traffic matrix for a 64-rank class C session, with
+// inter-device blocks marked and the heaviest pair reported (the paper:
+// "the maximum communication traffic between two ranks is about 186 MB").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vscc/internal/harness"
+	"vscc/internal/npb"
+	"vscc/internal/vscc"
+)
+
+func main() {
+	className := flag.String("class", "C", "NPB class")
+	ranks := flag.Int("ranks", 64, "session size (square number)")
+	iters := flag.Int("iters", 1, "simulated iterations (volumes scale to -scaleto)")
+	scaleTo := flag.Int("scaleto", 0, "report volumes as if this many iterations ran (default: class iterations)")
+	csv := flag.Bool("csv", false, "emit the matrix as CSV instead of the shaded rendering")
+	flag.Parse()
+
+	class, err := npb.ClassByName(*className)
+	check(err)
+	m, err := harness.CaptureTraffic(harness.TrafficConfig{
+		Class: class, Ranks: *ranks, Iterations: *iters, ScaleTo: *scaleTo,
+		Scheme: vscc.SchemeVDMA,
+	})
+	check(err)
+
+	if *csv {
+		fmt.Print(m.CSV())
+		return
+	}
+	fmt.Printf("== Fig. 8: NPB BT class %s traffic, %d ranks ==\n", class.Name, *ranks)
+	fmt.Print(m.Render())
+	src, dest, bytes := m.MaxPair()
+	fmt.Printf("\nmax pair: rank %d -> rank %d, %.1f MB (paper: ~186 MB for 64 ranks / class C / 200 iters)\n",
+		src, dest, float64(bytes)/1e6)
+	fmt.Printf("traffic within rank distance 9: %.1f %% (neighbour/ring pattern)\n", 100*m.NeighborFraction(9))
+	fmt.Printf("inter-device share: %.1f %%\n", 100*float64(m.InterDeviceBytes())/float64(m.Total()))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traffic:", err)
+		os.Exit(1)
+	}
+}

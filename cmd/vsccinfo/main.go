@@ -1,0 +1,85 @@
+// Command vsccinfo inspects a vSCC configuration: the (x, y, z) topology
+// of Fig. 3, the latency landscape (on-chip vs inter-device, the ~120x
+// factor of §5), and the stability rules of §2.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vscc/internal/noc"
+	"vscc/internal/pcie"
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+	"vscc/internal/stats"
+	"vscc/internal/vscc"
+)
+
+func main() {
+	devices := flag.Int("devices", 5, "number of SCC devices")
+	flag.Parse()
+
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: *devices, Scheme: vscc.SchemeVDMA})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsccinfo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("== vSCC: %d devices, %d cores ==\n\n", *devices, sys.TotalCores())
+	fmt.Println("topology (Fig. 3): (x, y) = tile mesh position, z = device; the")
+	fmt.Println("single physical off-chip link sits at tile (3,0) of every device.")
+	fmt.Println()
+
+	places, err := rcce.LinearPlaces(sys.Chips, sys.TotalCores())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsccinfo:", err)
+		os.Exit(1)
+	}
+	rows := [][]string{{"rank", "device (z)", "core", "tile (x,y)"}}
+	for _, rank := range []int{0, 1, 47, 48, 95, 96, 144, 192, 239} {
+		if rank >= len(places) {
+			continue
+		}
+		pl := places[rank]
+		x, y, z := vscc.Coord(pl)
+		rows = append(rows, []string{
+			fmt.Sprint(rank), fmt.Sprint(z), fmt.Sprint(pl.Core), fmt.Sprintf("(%d,%d)", x, y),
+		})
+	}
+	fmt.Print(stats.Table(rows))
+	fmt.Println()
+
+	mesh := sys.MeshOf(0)
+	onChipNear := mesh.TransferLatency(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0}, 32)
+	onChipFar := mesh.TransferLatency(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 5, Y: 3}, 32)
+	rt := sys.Fabric.RoundTrip()
+	fmt.Println("latency landscape (core cycles @ 533 MHz):")
+	lat := [][]string{
+		{"path", "cycles", "class"},
+		{"on-chip, 1 hop (32 B)", fmt.Sprint(onChipNear), "~10^2 (paper §3)"},
+		{"on-chip, cross mesh (32 B)", fmt.Sprint(onChipFar), "~10^2"},
+		{"inter-device round trip", fmt.Sprint(rt), "~10^4 (paper §3)"},
+		{"virtual-extension factor", fmt.Sprintf("%.0fx", float64(rt)/100), "paper §5: ~120x"},
+	}
+	fmt.Print(stats.Table(lat))
+	fmt.Println()
+
+	fmt.Println("stability rules (§2.3):")
+	for _, n := range []int{2, 3, 5} {
+		_, err := pcie.New(n, pcie.DefaultParams(), pcie.AckFPGA)
+		status := "OK"
+		if err != nil {
+			status = "rejected: " + err.Error()
+		}
+		fmt.Printf("  %d devices with FPGA fast write-acks: %s\n", n, status)
+	}
+	fmt.Println()
+	fmt.Println("communication schemes and their small-message thresholds (§3.3):")
+	for _, s := range []vscc.Scheme{vscc.SchemeRouting, vscc.SchemeHostRouted, vscc.SchemeCachedGet, vscc.SchemeRemotePut, vscc.SchemeVDMA, vscc.SchemeHWAccel} {
+		fmt.Printf("  %-34s direct-transfer threshold: %3d B\n", s, s.DirectThreshold())
+	}
+	_ = scc.SIFCoord
+}

@@ -1,0 +1,12 @@
+// Package vscc is the root of a Go reproduction of "Effective
+// Communication for a System of Cluster-on-a-Chip Processors" (Reble,
+// Fischer, Lankes, Müller — PMAM/PPoPP 2015): a functional simulator of
+// the Intel SCC research processor, the RCCE/iRCCE communication
+// libraries, and the vSCC multi-device system with its host-accelerated
+// inter-device communication schemes.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every figure of the paper's
+// evaluation section.
+package vscc

@@ -1,0 +1,184 @@
+// Stencil: a 2D Jacobi heat-diffusion solver on a single SCC, the kind
+// of neighbourhood-communication workload the paper's conclusion calls
+// out as scaling excellently. Halo exchanges use iRCCE non-blocking
+// requests so both directions of each boundary proceed concurrently,
+// and convergence is checked with an allreduce.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"vscc/internal/ircce"
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+)
+
+const (
+	ranks   = 16 // 4x4 process grid
+	npx     = 4  // process grid width
+	local   = 24 // local sub-domain edge (interior)
+	maxIter = 200
+	epsilon = 1e-4
+)
+
+func main() {
+	k := sim.NewKernel()
+	chip := scc.NewChip(k, 0, scc.DefaultParams())
+	places, err := rcce.LinearPlaces([]*scc.Chip{chip}, ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := rcce.NewSession(k, []*scc.Chip{chip}, places)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = session.Run(func(r *rcce.Rank) {
+		me := r.ID()
+		px, py := me%npx, me/npx
+		eng := ircce.New(r)
+
+		// Grid with a one-cell halo; hot west edge of the global domain.
+		cur := make([][]float64, local+2)
+		next := make([][]float64, local+2)
+		for i := range cur {
+			cur[i] = make([]float64, local+2)
+			next[i] = make([]float64, local+2)
+		}
+		if px == 0 {
+			for j := 0; j < local+2; j++ {
+				cur[j][0], next[j][0] = 100, 100
+			}
+		}
+
+		neighbor := func(dx, dy int) int {
+			nx, ny := px+dx, py+dy
+			if nx < 0 || nx >= npx || ny < 0 || ny >= ranks/npx {
+				return -1
+			}
+			return ny*npx + nx
+		}
+		west, east := neighbor(-1, 0), neighbor(+1, 0)
+		north, south := neighbor(0, -1), neighbor(0, +1)
+
+		colBuf := func(col int) []byte {
+			b := make([]byte, 8*local)
+			for j := 0; j < local; j++ {
+				binary.LittleEndian.PutUint64(b[8*j:], math.Float64bits(cur[j+1][col]))
+			}
+			return b
+		}
+		rowBuf := func(row int) []byte {
+			b := make([]byte, 8*local)
+			for i := 0; i < local; i++ {
+				binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(cur[row][i+1]))
+			}
+			return b
+		}
+		setCol := func(col int, b []byte) {
+			for j := 0; j < local; j++ {
+				cur[j+1][col] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*j:]))
+			}
+		}
+		setRow := func(row int, b []byte) {
+			for i := 0; i < local; i++ {
+				cur[row][i+1] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+			}
+		}
+
+		iter := 0
+		for ; iter < maxIter; iter++ {
+			// Halo exchange: post all four directions as non-blocking
+			// requests, then wait — no parity choreography needed.
+			var reqs []*ircce.Request
+			recvW := make([]byte, 8*local)
+			recvE := make([]byte, 8*local)
+			recvN := make([]byte, 8*local)
+			recvS := make([]byte, 8*local)
+			post := func(peer int, out []byte, in []byte) {
+				if peer < 0 {
+					return
+				}
+				sq, err := eng.Isend(peer, out)
+				if err != nil {
+					panic(err)
+				}
+				rq, err := eng.Irecv(peer, in)
+				if err != nil {
+					panic(err)
+				}
+				reqs = append(reqs, sq, rq)
+			}
+			post(west, colBuf(1), recvW)
+			post(east, colBuf(local), recvE)
+			post(north, rowBuf(1), recvN)
+			post(south, rowBuf(local), recvS)
+			eng.WaitAll(reqs...)
+			if west >= 0 {
+				setCol(0, recvW)
+			}
+			if east >= 0 {
+				setCol(local+1, recvE)
+			}
+			if north >= 0 {
+				setRow(0, recvN)
+			}
+			if south >= 0 {
+				setRow(local+1, recvS)
+			}
+
+			// Jacobi update; charge the FP work to the core.
+			var diff float64
+			for j := 1; j <= local; j++ {
+				for i := 1; i <= local; i++ {
+					v := 0.25 * (cur[j][i-1] + cur[j][i+1] + cur[j-1][i] + cur[j+1][i])
+					d := v - cur[j][i]
+					if d < 0 {
+						d = -d
+					}
+					if d > diff {
+						diff = d
+					}
+					next[j][i] = v
+				}
+			}
+			r.ComputeFlops(float64(local * local * 6))
+			cur, next = next, cur
+
+			// Convergence check every 10 iterations.
+			if iter%10 == 9 {
+				v := []float64{diff}
+				if err := r.Allreduce(rcce.OpMax, v); err != nil {
+					panic(err)
+				}
+				if v[0] < epsilon {
+					break
+				}
+			}
+		}
+
+		// Report the global mean temperature.
+		var sum float64
+		for j := 1; j <= local; j++ {
+			for i := 1; i <= local; i++ {
+				sum += cur[j][i]
+			}
+		}
+		v := []float64{sum}
+		if err := r.Allreduce(rcce.OpSum, v); err != nil {
+			panic(err)
+		}
+		if me == 0 {
+			n := float64(ranks * local * local)
+			fmt.Printf("converged after %d iterations; mean temperature %.3f\n", iter+1, v[0]/n)
+			fmt.Printf("simulated time: %.2f ms\n", float64(r.Now())/533e3)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module vscc
+
+go 1.22

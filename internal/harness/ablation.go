@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"vscc/internal/host"
+	"vscc/internal/npb"
+	"vscc/internal/rcce"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+	"vscc/internal/vscc"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out: the SIF prefetch streaming behind the software cache, the
+// write-combining flush granularity, the vDMA burst size and
+// double-buffer slot size, and the small-message direct-transfer
+// threshold.
+
+// interDevicePingPongWith measures cross-device ping-pong under an
+// arbitrary system configuration.
+func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPongPoint, error) {
+	var out []PingPongPoint
+	for _, size := range sizes {
+		mk := func() (*rcce.Session, error) {
+			k := sim.NewKernel()
+			c := cfg
+			c.Devices = 2
+			sys, err := vscc.NewSystem(k, c)
+			if err != nil {
+				return nil, err
+			}
+			return sys.NewSession(96)
+		}
+		pt, err := pingPong(mk, 0, 48, size, reps)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblateSIFStreaming measures the cached local-put/remote-get scheme
+// with and without the SIF prefetch stream — isolating how much of the
+// scheme's throughput comes from turning latency-bound line reads into
+// a bandwidth-bound stream.
+func AblateSIFStreaming(size, reps int) (withStream, withoutStream float64, err error) {
+	on, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeCachedGet}, []int{size}, reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	params := host.DefaultParams()
+	params.SIFBufferLines = 0 // disable streaming
+	off, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeCachedGet, HostParams: &params}, []int{size}, reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return on[0].MBps, off[0].MBps, nil
+}
+
+// AblateWCBFlush measures the remote-put scheme across write-combining
+// flush thresholds.
+func AblateWCBFlush(size, reps int, flushBytes []int) (map[int]float64, error) {
+	out := make(map[int]float64)
+	for _, fb := range flushBytes {
+		params := host.DefaultParams()
+		params.WCBFlushBytes = fb
+		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeRemotePut, HostParams: &params}, []int{size}, reps)
+		if err != nil {
+			return nil, err
+		}
+		out[fb] = pts[0].MBps
+	}
+	return out, nil
+}
+
+// AblateDMABurst measures the vDMA scheme across host DMA burst sizes.
+func AblateDMABurst(size, reps int, bursts []int) (map[int]float64, error) {
+	out := make(map[int]float64)
+	for _, burst := range bursts {
+		params := host.DefaultParams()
+		params.DMABurstBytes = burst
+		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeVDMA, HostParams: &params}, []int{size}, reps)
+		if err != nil {
+			return nil, err
+		}
+		out[burst] = pts[0].MBps
+	}
+	return out, nil
+}
+
+// AblateVDMASlot measures the vDMA scheme with double-buffered halves
+// (default) against a range of slot sizes — small slots pay per-chunk
+// overheads, the full half maximizes pipelining; this is the design
+// choice that removes the 8 kB slope (§4.1).
+func AblateVDMASlot(size, reps int, slots []int) (map[int]float64, error) {
+	out := make(map[int]float64)
+	for _, slot := range slots {
+		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeVDMA, VDMASlotBytes: slot}, []int{size}, reps)
+		if err != nil {
+			return nil, err
+		}
+		out[slot] = pts[0].MBps
+	}
+	return out, nil
+}
+
+// AblateDirectThreshold measures small-message one-way latency (in
+// cycles) with and without the direct-transfer path (§3.3's 32-128 B
+// threshold).
+func AblateDirectThreshold(scheme vscc.Scheme, size, reps int) (direct, engaged sim.Cycles, err error) {
+	// Threshold above the size: direct path.
+	on, err := interDevicePingPongWith(vscc.Config{Scheme: scheme, DirectThreshold: size}, []int{size}, reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Threshold below the size: the host machinery engages.
+	off, err := interDevicePingPongWith(vscc.Config{Scheme: scheme, DirectThreshold: -1}, []int{size}, reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	perMsg := func(p PingPongPoint) sim.Cycles { return p.Cycles / sim.Cycles(2*p.Reps) }
+	return perMsg(on[0]), perMsg(off[0]), nil
+}
+
+// AblateBTScheme compares BT on a cross-device session under every
+// scheme — the application-level consequence of the scheme choice.
+func AblateBTScheme(ranks, iters int, schemes []vscc.Scheme) (map[vscc.Scheme]float64, error) {
+	out := make(map[vscc.Scheme]float64)
+	for _, s := range schemes {
+		pt, err := BTRun(BTSweepConfig{Class: npb.ClassC, Iterations: iters, Scheme: s, Devices: 5}, ranks)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = pt.GFlops
+	}
+	return out, nil
+}
+
+// TrafficBalance summarizes a matrix's device-boundary pressure — used
+// to quantify why topology-unaware linear rank mapping (§3) makes the
+// scheme choice matter.
+func TrafficBalance(m *trace.Matrix) (interShare float64) {
+	if m.Total() == 0 {
+		return 0
+	}
+	return float64(m.InterDeviceBytes()) / float64(m.Total())
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+
+	"vscc/internal/ircce"
+	"vscc/internal/rcce"
+	"vscc/internal/vscc"
+)
+
+// TestCalibrationProbe prints the current throughput landscape; run with
+// -v to inspect calibration against the paper's targets. It asserts only
+// loose sanity bounds so routine test runs stay green while the numbers
+// remain visible during tuning.
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	sizes := Sizes6()
+	reps := 3
+
+	rcceOn, err := OnChipPingPong(nil, 0, 1, sizes, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ircceOn, err := OnChipPingPong(func() rcce.Protocol { return &ircce.PipelinedProtocol{} }, 0, 1, sizes, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("on-chip RCCE peak:  %.1f MB/s", PeakMBps(rcceOn))
+	t.Logf("on-chip iRCCE peak: %.1f MB/s", PeakMBps(ircceOn))
+
+	for _, scheme := range []vscc.Scheme{
+		vscc.SchemeRouting, vscc.SchemeHostRouted, vscc.SchemeCachedGet,
+		vscc.SchemeRemotePut, vscc.SchemeVDMA, vscc.SchemeHWAccel,
+	} {
+		pts, err := InterDevicePingPong(scheme, sizes, reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("inter-device %-32v peak: %6.2f MB/s", scheme, PeakMBps(pts))
+		for _, p := range pts {
+			t.Logf("    %7d B: %7.2f MB/s", p.Size, p.MBps)
+		}
+	}
+}

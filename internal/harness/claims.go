@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"vscc/internal/ircce"
+	"vscc/internal/pcie"
+	"vscc/internal/rcce"
+	"vscc/internal/vscc"
+)
+
+// Claims gathers the measurements behind the paper's headline numbers
+// (experiments E5-E9 of DESIGN.md).
+type Claims struct {
+	// OnChipRCCEPeak / OnChipIRCCEPeak: Fig. 6a peaks; the paper puts the
+	// on-chip maximum at ~150 MB/s.
+	OnChipRCCEPeak  float64
+	OnChipIRCCEPeak float64
+	// Peaks of the inter-device schemes (Fig. 6b).
+	RoutingPeak, LowerPeak, CachedPeak, RemotePutPeak, VDMAPeak, UpperPeak float64
+	// RecoveredFraction is best-inter-device / on-chip (the "recover 24 %
+	// of on-chip communication performance" claim).
+	RecoveredFraction float64
+	// CachedOfLimit is cached-peak / upper-bound-peak (the "71.72 % of
+	// the limit for the worst case scheme" claim).
+	CachedOfLimit float64
+	// LatencyFactor is the inter-device round trip over the on-chip
+	// latency class (the "raises latencies by a factor of 120" claim).
+	LatencyFactor float64
+	// MPBDropSchemes lists inter-device schemes whose throughput dips
+	// when the message stops fitting into the MPB (~8 kB), and whether
+	// the vDMA scheme removed it (§4.1).
+	CachedHasDrop bool
+	VDMAHasDrop   bool
+}
+
+// MeasureClaims runs the ping-pong sweeps behind the claims. reps
+// controls averaging (3 is plenty; the simulation is deterministic).
+func MeasureClaims(reps int) (*Claims, error) {
+	sizes := Sizes6()
+	c := &Claims{}
+	rcceOn, err := OnChipPingPong(nil, 0, 1, sizes, reps)
+	if err != nil {
+		return nil, err
+	}
+	ircceOn, err := OnChipPingPong(func() rcce.Protocol { return &ircce.PipelinedProtocol{} }, 0, 1, sizes, reps)
+	if err != nil {
+		return nil, err
+	}
+	c.OnChipRCCEPeak = PeakMBps(rcceOn)
+	c.OnChipIRCCEPeak = PeakMBps(ircceOn)
+
+	peaks := map[vscc.Scheme]*float64{
+		vscc.SchemeRouting:    &c.RoutingPeak,
+		vscc.SchemeHostRouted: &c.LowerPeak,
+		vscc.SchemeCachedGet:  &c.CachedPeak,
+		vscc.SchemeRemotePut:  &c.RemotePutPeak,
+		vscc.SchemeVDMA:       &c.VDMAPeak,
+		vscc.SchemeHWAccel:    &c.UpperPeak,
+	}
+	var cachedPts, vdmaPts []PingPongPoint
+	for scheme, dst := range peaks {
+		pts, err := InterDevicePingPong(scheme, sizes, reps)
+		if err != nil {
+			return nil, err
+		}
+		*dst = PeakMBps(pts)
+		if scheme == vscc.SchemeCachedGet {
+			cachedPts = pts
+		}
+		if scheme == vscc.SchemeVDMA {
+			vdmaPts = pts
+		}
+	}
+	best := c.VDMAPeak
+	if c.RemotePutPeak > best {
+		best = c.RemotePutPeak
+	}
+	c.RecoveredFraction = best / c.OnChipRCCEPeak
+	c.CachedOfLimit = c.CachedPeak / c.UpperPeak
+	c.CachedHasDrop = hasMPBDrop(cachedPts)
+	c.VDMAHasDrop = hasMPBDrop(vdmaPts)
+
+	fabric, err := pcie.New(2, pcie.DefaultParams(), pcie.AckHost)
+	if err != nil {
+		return nil, err
+	}
+	c.LatencyFactor = float64(fabric.RoundTrip()) / 100 // ~100-cycle on-chip class (§3)
+	return c, nil
+}
+
+// hasMPBDrop reports whether throughput dips when crossing the MPB
+// capacity: the first size that no longer fits in one chunk performs
+// worse than the last size that did.
+func hasMPBDrop(pts []PingPongPoint) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Size <= rcce.ChunkBytes && pts[i].Size > rcce.ChunkBytes {
+			return pts[i].MBps < pts[i-1].MBps
+		}
+	}
+	return false
+}
+
+// Report renders the paper-vs-measured table.
+func (c *Claims) Report() string {
+	var b strings.Builder
+	row := func(claim, paper, measured string) {
+		fmt.Fprintf(&b, "%-58s %-14s %s\n", claim, paper, measured)
+	}
+	row("claim", "paper", "measured")
+	row(strings.Repeat("-", 50), "-----", "--------")
+	row("max on-chip throughput (§4.1)", "~150 MB/s", fmt.Sprintf("%.1f MB/s (iRCCE), %.1f MB/s (RCCE)", c.OnChipIRCCEPeak, c.OnChipRCCEPeak))
+	row("recovered on-chip performance inter-device (§1/§5)", "24 %", fmt.Sprintf("%.1f %% (best scheme vs on-chip RCCE)", 100*c.RecoveredFraction))
+	row("worst optimized scheme vs hardware limit (§4.1)", "71.72 %", fmt.Sprintf("%.2f %% (LP/RG cached vs FPGA upper bound)", 100*c.CachedOfLimit))
+	row("latency increase of the virtual extension (§5)", "~120x", fmt.Sprintf("%.0fx", c.LatencyFactor))
+	row("throughput drop at 8 kB for non-pipelined schemes (§4.1)", "yes", fmt.Sprintf("%v (LP/RG)", c.CachedHasDrop))
+	row("8 kB slope removed for pipelined LP/LG (§4.1)", "yes", fmt.Sprintf("%v (no drop: %v)", !c.VDMAHasDrop, !c.VDMAHasDrop))
+	row("LP/LG close to hardware-accelerated variant (§4.1)", "close", fmt.Sprintf("%.1f %% of upper bound", 100*c.VDMAPeak/c.UpperPeak))
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+
+	"vscc/internal/npb"
+	"vscc/internal/vscc"
+)
+
+func classFor(t *testing.T) npb.Class { t.Helper(); return npb.ClassA }
+
+func schemeFor(i int) vscc.Scheme {
+	if i == 0 {
+		return vscc.SchemeVDMA
+	}
+	return vscc.SchemeRouting
+}
+
+// TestOnChipDistanceMatters checks the physical fidelity behind the
+// paper's §3 mapping discussion ("a neighboring communication rank does
+// not guarantee a small communication distance"): ping-pong between
+// far-apart tiles is slower than between adjacent cores.
+func TestOnChipDistanceMatters(t *testing.T) {
+	near, err := OnChipPingPong(nil, 0, 1, []int{8192}, 3) // same tile
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := OnChipPingPong(nil, 0, 47, []int{8192}, 3) // opposite corners
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far[0].MBps >= near[0].MBps {
+		t.Errorf("cross-mesh pair (%.1f MB/s) should be slower than same-tile (%.1f MB/s)",
+			far[0].MBps, near[0].MBps)
+	}
+	// But both stay within the on-chip class: far better than half.
+	if far[0].MBps < near[0].MBps/2 {
+		t.Errorf("distance penalty too harsh: %.1f vs %.1f MB/s", far[0].MBps, near[0].MBps)
+	}
+}
+
+// TestFig7SmallScaleShape asserts the two defining properties of the
+// Fig. 7 curves at test-friendly scale: the optimal scheme scales across
+// the device boundary, the routing scheme collapses there.
+func TestFig7SmallScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second BT runs")
+	}
+	run := func(scheme int, ranks int) float64 {
+		pt, err := BTRun(BTSweepConfig{
+			Class:      classFor(t),
+			Iterations: 1,
+			Scheme:     schemeFor(scheme),
+			Devices:    2,
+		}, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt.GFlops
+	}
+	withinDevice := run(0, 36)
+	acrossOpt := run(0, 64)
+	acrossWorst := run(1, 64)
+	if acrossOpt <= withinDevice {
+		t.Errorf("optimal scheme did not scale past the device boundary: %.2f -> %.2f", withinDevice, acrossOpt)
+	}
+	if acrossWorst >= acrossOpt/1.5 {
+		t.Errorf("routing (%.2f) should trail the optimal scheme (%.2f) clearly", acrossWorst, acrossOpt)
+	}
+}

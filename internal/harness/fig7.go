@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+
+	"vscc/internal/npb"
+	"vscc/internal/sim"
+	"vscc/internal/vscc"
+)
+
+// BTPoint is one Fig. 7 measurement.
+type BTPoint struct {
+	Ranks  int
+	GFlops float64
+	Cycles sim.Cycles
+}
+
+// BTSweepConfig controls a Fig. 7 sweep.
+type BTSweepConfig struct {
+	Class npb.Class
+	// Iterations per run (steady state); the class default (200) is
+	// impractical inside the simulator, so runs use a few iterations —
+	// per-iteration time is steady, so GFLOP/s is unaffected.
+	Iterations int
+	// Scheme is the inter-device configuration (the paper contrasts the
+	// optimal vDMA scheme with the worst-case transparent routing).
+	Scheme vscc.Scheme
+	// Devices sizes the vSCC (5 for the 240-core flagship).
+	Devices int
+}
+
+// BTSweep runs NPB BT for each square rank count and returns the
+// scalability curve. Rank counts above one device's 48 cores exercise
+// the inter-device path.
+func BTSweep(cfg BTSweepConfig, counts []int) ([]BTPoint, error) {
+	var out []BTPoint
+	for _, ranks := range counts {
+		pt, err := BTRun(cfg, ranks)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// BTRun executes one BT configuration on a fresh vSCC.
+func BTRun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
+	if cfg.Devices == 0 {
+		cfg.Devices = (ranks + 47) / 48
+		if cfg.Devices < 1 {
+			cfg.Devices = 1
+		}
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 2
+	}
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme})
+	if err != nil {
+		return BTPoint{}, err
+	}
+	session, err := sys.NewSession(ranks)
+	if err != nil {
+		return BTPoint{}, err
+	}
+	d, err := npb.NewDecomp(cfg.Class.N, ranks)
+	if err != nil {
+		return BTPoint{}, err
+	}
+	res, err := npb.RunOn(session, d, npb.Config{
+		Class:      cfg.Class,
+		Iterations: cfg.Iterations,
+		Timing:     true,
+	})
+	if err != nil {
+		return BTPoint{}, fmt.Errorf("bt ranks=%d: %w", ranks, err)
+	}
+	return BTPoint{Ranks: ranks, GFlops: res.GFlops, Cycles: res.Cycles}, nil
+}
+
+// LURun executes the NPB LU extension workload (latency-bound wavefront
+// sweeps — the communication contrast to BT) on a fresh vSCC.
+func LURun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
+	if cfg.Devices == 0 {
+		cfg.Devices = (ranks + 47) / 48
+		if cfg.Devices < 1 {
+			cfg.Devices = 1
+		}
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 2
+	}
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme})
+	if err != nil {
+		return BTPoint{}, err
+	}
+	session, err := sys.NewSession(ranks)
+	if err != nil {
+		return BTPoint{}, err
+	}
+	d, err := npb.NewLUDecomp(cfg.Class.N, ranks)
+	if err != nil {
+		return BTPoint{}, err
+	}
+	res, err := npb.RunLU(session, d, npb.Config{
+		Class:      cfg.Class,
+		Iterations: cfg.Iterations,
+		Timing:     true,
+	})
+	if err != nil {
+		return BTPoint{}, fmt.Errorf("lu ranks=%d: %w", ranks, err)
+	}
+	return BTPoint{Ranks: ranks, GFlops: res.GFlops, Cycles: res.Cycles}, nil
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"testing"
+
+	"vscc/internal/npb"
+	"vscc/internal/vscc"
+)
+
+func TestSizes6Range(t *testing.T) {
+	sizes := Sizes6()
+	if sizes[0] != 32 || sizes[len(sizes)-1] != 256*1024 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != 2*sizes[i-1] {
+			t.Error("sizes not powers of two")
+		}
+	}
+}
+
+func TestPingPongThroughputPositiveAndMonotoneClass(t *testing.T) {
+	pts, err := OnChipPingPong(nil, 0, 1, []int{256, 4096}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].MBps <= 0 || pts[1].MBps <= pts[0].MBps {
+		t.Errorf("throughput not increasing with size: %+v", pts)
+	}
+}
+
+func TestToSeriesAndPeak(t *testing.T) {
+	pts := []PingPongPoint{{Size: 32, MBps: 5}, {Size: 64, MBps: 9}}
+	s := ToSeries("x", pts)
+	if len(s.Points) != 2 || s.Name != "x" {
+		t.Errorf("series = %+v", s)
+	}
+	if PeakMBps(pts) != 9 {
+		t.Errorf("peak = %v", PeakMBps(pts))
+	}
+	if PeakMBps(nil) != 0 {
+		t.Error("empty peak != 0")
+	}
+}
+
+func TestClaimsMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims sweep is a full Fig. 6 measurement")
+	}
+	c, err := MeasureClaims(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E7: on-chip peak ~150 MB/s.
+	if c.OnChipIRCCEPeak < 120 || c.OnChipIRCCEPeak > 180 {
+		t.Errorf("on-chip iRCCE peak = %.1f, want ~150", c.OnChipIRCCEPeak)
+	}
+	// E5: recover ~24 % of on-chip performance.
+	if c.RecoveredFraction < 0.18 || c.RecoveredFraction > 0.33 {
+		t.Errorf("recovered fraction = %.3f, want ~0.24", c.RecoveredFraction)
+	}
+	// E6: worst optimized scheme ~71.72 % of the hardware limit.
+	if c.CachedOfLimit < 0.60 || c.CachedOfLimit > 0.80 {
+		t.Errorf("cached/limit = %.3f, want ~0.717", c.CachedOfLimit)
+	}
+	// E8: latency factor ~120x.
+	if c.LatencyFactor < 80 || c.LatencyFactor > 160 {
+		t.Errorf("latency factor = %.0f, want ~120", c.LatencyFactor)
+	}
+	// E9: the 8 kB MPB drop exists for the cached scheme, not for vDMA.
+	if !c.CachedHasDrop {
+		t.Error("LP/RG should drop at the MPB boundary")
+	}
+	if c.VDMAHasDrop {
+		t.Error("pipelined LP/LG should not drop at the MPB boundary")
+	}
+	// Fig. 6b ordering.
+	if !(c.RoutingPeak < c.LowerPeak && c.LowerPeak < c.CachedPeak &&
+		c.CachedPeak < c.RemotePutPeak && c.RemotePutPeak < c.VDMAPeak &&
+		c.VDMAPeak < c.UpperPeak) {
+		t.Errorf("Fig 6b ordering violated: %+v", c)
+	}
+	if c.Report() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestBTRunSmall(t *testing.T) {
+	pt, err := BTRun(BTSweepConfig{Class: npb.ClassW, Iterations: 1, Scheme: vscc.SchemeVDMA, Devices: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.GFlops <= 0 || pt.Ranks != 16 {
+		t.Errorf("bt point = %+v", pt)
+	}
+}
+
+func TestCaptureTrafficScaling(t *testing.T) {
+	m, err := CaptureTraffic(TrafficConfig{
+		Class: npb.ClassW, Ranks: 4, Iterations: 1, ScaleTo: 10, Scheme: vscc.SchemeVDMA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := CaptureTraffic(TrafficConfig{
+		Class: npb.ClassW, Ranks: 4, Iterations: 1, ScaleTo: 1, Scheme: vscc.SchemeVDMA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 10*m1.Total() {
+		t.Errorf("scaled total %d != 10x %d", m.Total(), m1.Total())
+	}
+}

@@ -1,0 +1,149 @@
+// Package harness builds the measurements behind the paper's evaluation
+// section: ping-pong throughput curves (Fig. 6a/6b), the NPB BT
+// scalability sweep (Fig. 7), the traffic matrix (Fig. 8), and the
+// headline claims of §1/§4/§5. It is shared by the cmd/ tools, the
+// testing.B benchmarks and EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+	"vscc/internal/stats"
+	"vscc/internal/vscc"
+)
+
+// Sizes6 is the message-size sweep of Fig. 6 (32 B to 256 KB, powers of
+// two).
+func Sizes6() []int {
+	var sizes []int
+	for s := 32; s <= 256*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// PingPongPoint is one ping-pong measurement.
+type PingPongPoint struct {
+	Size   int
+	Cycles sim.Cycles // total for Reps round trips
+	Reps   int
+	MBps   float64 // one-way throughput, 1 MB = 1e6 B (paper axes)
+}
+
+// pingPong runs Reps round trips of size bytes between rank a and rank b
+// of a fresh session produced by mk and returns the throughput.
+func pingPong(mk func() (*rcce.Session, error), a, b, size, reps int) (PingPongPoint, error) {
+	session, err := mk()
+	if err != nil {
+		return PingPongPoint{}, err
+	}
+	params := session.Chip(a).Params
+	var start, end sim.Cycles
+	runErr := session.Run(func(r *rcce.Rank) {
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(i * 31)
+		}
+		buf := make([]byte, size)
+		switch r.ID() {
+		case a:
+			// One warmup round trip, unmeasured, to fill caches and
+			// buffers as a real benchmark does.
+			r.Send(b, msg)
+			r.Recv(b, buf)
+			start = r.Now()
+			for i := 0; i < reps; i++ {
+				r.Send(b, msg)
+				r.Recv(b, buf)
+			}
+			end = r.Now()
+		case b:
+			r.Recv(a, buf)
+			r.Send(a, msg)
+			for i := 0; i < reps; i++ {
+				r.Recv(a, buf)
+				r.Send(a, msg)
+			}
+		}
+	})
+	if runErr != nil {
+		return PingPongPoint{}, runErr
+	}
+	total := end - start
+	// A round trip moves the message twice, so one-way throughput is
+	// 2*reps*size bytes over the total time.
+	mbps := params.MBPerSecond(uint64(size)*uint64(2*reps), total)
+	return PingPongPoint{Size: size, Cycles: total, Reps: reps, MBps: mbps}, nil
+}
+
+// OnChipPingPong measures on-chip ping-pong between two cores of a
+// single SCC under the wire protocol produced by newProto (nil = RCCE
+// default). A fresh protocol instance is created per measurement because
+// stateful protocols (iRCCE pipelined) are bound to one session. cores
+// picks the pair; the paper's best case uses adjacent cores.
+func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int, reps int) ([]PingPongPoint, error) {
+	var out []PingPongPoint
+	for _, size := range sizes {
+		mk := func() (*rcce.Session, error) {
+			k := sim.NewKernel()
+			chip := scc.NewChip(k, 0, scc.DefaultParams())
+			places := []rcce.Place{{Dev: 0, Core: coreA}, {Dev: 0, Core: coreB}}
+			var opts []rcce.Option
+			if newProto != nil {
+				opts = append(opts, rcce.WithProtocol(newProto()))
+			}
+			return rcce.NewSession(k, []*scc.Chip{chip}, places, opts...)
+		}
+		pt, err := pingPong(mk, 0, 1, size, reps)
+		if err != nil {
+			return nil, fmt.Errorf("on-chip size %d: %w", size, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// InterDevicePingPong measures cross-device ping-pong (rank 0 on device
+// 0 against rank 48 on device 1) under a vSCC scheme.
+func InterDevicePingPong(scheme vscc.Scheme, sizes []int, reps int) ([]PingPongPoint, error) {
+	var out []PingPongPoint
+	for _, size := range sizes {
+		mk := func() (*rcce.Session, error) {
+			k := sim.NewKernel()
+			sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme})
+			if err != nil {
+				return nil, err
+			}
+			return sys.NewSession(96)
+		}
+		pt, err := pingPong(mk, 0, 48, size, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%v size %d: %w", scheme, size, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ToSeries converts measurements to a plot series.
+func ToSeries(name string, pts []PingPongPoint) stats.Series {
+	s := stats.Series{Name: name}
+	for _, p := range pts {
+		s.Add(float64(p.Size), p.MBps)
+	}
+	return s
+}
+
+// PeakMBps returns the maximum throughput of a sweep.
+func PeakMBps(pts []PingPongPoint) float64 {
+	max := 0.0
+	for _, p := range pts {
+		if p.MBps > max {
+			max = p.MBps
+		}
+	}
+	return max
+}

@@ -1,0 +1,230 @@
+package host
+
+import (
+	"fmt"
+
+	"vscc/internal/mem"
+	"vscc/internal/sim"
+)
+
+// lineKey identifies one 32-byte MPB line globally (same encoding idea as
+// the device caches, but private to the host task).
+func lineKey(dev, tile, off int) uint64 {
+	return uint64(dev)<<40 | uint64(tile)<<20 | uint64(off/mem.LineSize)
+}
+
+// cacheEntry is the host-side software copy of one cached region. Lines
+// become valid as prefetch bursts arrive; the owner's explicit
+// invalidate command drops them — the relaxed-consistency contract of
+// §3.1 ("the sender that writes to a local MPB explicitly invalidates
+// the outdated part of the host copy").
+type cacheEntry struct {
+	rg    *Region
+	data  []byte
+	valid []bool // per line
+	// hotEnd is the exclusive end (relative to rg.Off) of the range the
+	// owner announced with update commands; streams run up to it.
+	hotEnd int
+	// pending counts in-flight prefetch bursts.
+	pending int
+	cond    *sim.Cond
+}
+
+func newCacheEntry(k *sim.Kernel, rg *Region) *cacheEntry {
+	return &cacheEntry{
+		rg:    rg,
+		data:  make([]byte, rg.Len),
+		valid: make([]bool, (rg.Len+mem.LineSize-1)/mem.LineSize),
+		cond:  sim.NewCond(k, fmt.Sprintf("hostcache.d%d.t%d", rg.Dev, rg.Tile)),
+	}
+}
+
+// lineValid reports whether the line at absolute tile offset off is
+// valid.
+func (e *cacheEntry) lineValid(off int) bool {
+	return e.valid[(off-e.rg.Off)/mem.LineSize]
+}
+
+// markValid validates the lines covering [off, off+n) (absolute).
+func (e *cacheEntry) markValid(off, n int) {
+	for o := off; o < off+n; o += mem.LineSize {
+		e.valid[(o-e.rg.Off)/mem.LineSize] = true
+	}
+}
+
+// invalidate drops lines overlapping [off, off+n) (absolute) and clips
+// the hot range.
+func (e *cacheEntry) invalidate(off, n int) {
+	first := (off - e.rg.Off) / mem.LineSize
+	last := (off + n - 1 - e.rg.Off) / mem.LineSize
+	for i := first; i <= last && i < len(e.valid); i++ {
+		if i >= 0 {
+			e.valid[i] = false
+		}
+	}
+	if rel := off - e.rg.Off; rel < e.hotEnd {
+		e.hotEnd = rel
+	}
+	e.cond.Broadcast()
+}
+
+// sifBuffer models the device-side response buffer in the SIF FPGA that
+// the host streams prefetched lines into. A read that hits here is
+// served at on-chip cost — the mechanism that turns the latency-bound
+// remote-get path into a bandwidth-bound one. FIFO eviction keeps it
+// bounded; an evicted line simply falls back to the slow path.
+type sifBuffer struct {
+	lines    map[uint64][]byte
+	order    []uint64
+	capLines int
+	cond     *sim.Cond
+
+	hits, inserts, evictions uint64
+}
+
+func newSIFBuffer(k *sim.Kernel, dev, capLines int) *sifBuffer {
+	return &sifBuffer{
+		lines:    make(map[uint64][]byte),
+		capLines: capLines,
+		cond:     sim.NewCond(k, fmt.Sprintf("sifbuf.d%d", dev)),
+	}
+}
+
+// insert adds a line copy, evicting the oldest when full, and wakes
+// waiting readers.
+func (b *sifBuffer) insert(key uint64, data []byte) {
+	if _, ok := b.lines[key]; !ok {
+		if len(b.order) >= b.capLines {
+			oldest := b.order[0]
+			b.order = b.order[1:]
+			delete(b.lines, oldest)
+			b.evictions++
+		}
+		b.order = append(b.order, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.lines[key] = cp
+	b.inserts++
+	b.cond.Broadcast()
+}
+
+// take removes and returns a line.
+func (b *sifBuffer) take(key uint64) ([]byte, bool) {
+	data, ok := b.lines[key]
+	if !ok {
+		return nil, false
+	}
+	delete(b.lines, key)
+	for i, k := range b.order {
+		if k == key {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	b.hits++
+	return data, true
+}
+
+// invalidateRange drops buffered lines of (dev, tile, [off, off+n)).
+func (b *sifBuffer) invalidateRange(dev, tile, off, n int) {
+	for o := off &^ (mem.LineSize - 1); o < off+n; o += mem.LineSize {
+		key := lineKey(dev, tile, o)
+		if _, ok := b.lines[key]; ok {
+			delete(b.lines, key)
+			for i, k := range b.order {
+				if k == key {
+					b.order = append(b.order[:i], b.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	b.cond.Broadcast()
+}
+
+// stream is one active host->device line streamer feeding a reader's SIF
+// buffer from the software cache.
+type stream struct {
+	readerDev int
+	rg        *Region
+	// nextOff is the next absolute tile offset to push; the stream runs
+	// while nextOff < rg.Off + entry.hotEnd and lines are valid.
+	nextOff int
+	active  bool
+}
+
+type streamKey struct {
+	readerDev int
+	rg        *Region
+}
+
+// hostWCB is the communication task's write-combining buffer for one
+// region: remote writes are absorbed here and flushed to the device in
+// bursts (Fig. 4c).
+type hostWCB struct {
+	rg         *Region
+	buf        []byte
+	dirty      []bool // per byte
+	dirtyBytes int
+	// pendingFlush counts in-flight flush bursts (for write fences).
+	pendingFlush int
+	cond         *sim.Cond
+
+	absorbed, flushed uint64
+}
+
+func newHostWCB(k *sim.Kernel, rg *Region) *hostWCB {
+	return &hostWCB{
+		rg:    rg,
+		buf:   make([]byte, rg.Len),
+		dirty: make([]bool, rg.Len),
+		cond:  sim.NewCond(k, fmt.Sprintf("hostwcb.d%d.t%d", rg.Dev, rg.Tile)),
+	}
+}
+
+// absorb merges a masked line write at absolute tile offset off.
+func (w *hostWCB) absorb(off int, data []byte, mask uint32) {
+	base := off - w.rg.Off
+	for i := 0; i < len(data) && i < mem.LineSize; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !w.dirty[base+i] {
+			w.dirty[base+i] = true
+			w.dirtyBytes++
+		}
+		w.buf[base+i] = data[i]
+		w.absorbed++
+	}
+}
+
+// takeDirtySpans snapshots and clears all dirty spans, returning
+// (absolute offset, data copy) pairs.
+func (w *hostWCB) takeDirtySpans() []dirtySpan {
+	var spans []dirtySpan
+	i := 0
+	for i < len(w.dirty) {
+		if !w.dirty[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(w.dirty) && w.dirty[j] {
+			w.dirty[j] = false
+			j++
+		}
+		data := make([]byte, j-i)
+		copy(data, w.buf[i:j])
+		spans = append(spans, dirtySpan{off: w.rg.Off + i, data: data})
+		w.flushed += uint64(j - i)
+		i = j
+	}
+	w.dirtyBytes = 0
+	return spans
+}
+
+type dirtySpan struct {
+	off  int
+	data []byte
+}

@@ -1,0 +1,126 @@
+package host
+
+import (
+	"encoding/binary"
+
+	"vscc/internal/mem"
+)
+
+// The vDMA controller is programmed through memory-mapped registers
+// (paper §3.3, Fig. 5): three logical registers — address, count,
+// control — allocated contiguously with 32 B alignment so the SCC's
+// write-combine buffer fuses programming into a single off-chip write.
+// Each core owns one 32-byte register bank at MMIO offset core*32.
+//
+// Bank layout (little endian):
+//
+//	[ 0: 8)  address: packed destination dev<<40 | tile<<24 | off
+//	[ 8:12)  count:   transfer length in bytes
+//	[12:16)  source:  absolute LMB offset within the requester's tile
+//	[16:17)  control: command (see Cmd*)
+//	[17:18)  flags:   bit 0 notify destination, bit 1 completion flag
+//	[18:22)  notify:  absolute LMB offset at the destination tile
+//	[22:26)  compl:   absolute LMB offset at the requester's tile
+//	[26:27)  notify value byte
+//	[27:28)  completion value byte
+const (
+	// BankBytes is the size of one core's register bank.
+	BankBytes = mem.LineSize
+
+	// CmdCopy starts a vDMA copy from the requester's MPB to the packed
+	// destination (the local-put/local-get data mover).
+	CmdCopy = 1
+	// CmdUpdate prefetches [source, source+count) of the requester's MPB
+	// into the host software cache (warms the local-put/remote-get path).
+	CmdUpdate = 2
+	// CmdInvalidate drops host-cached copies of the range — the explicit
+	// consistency control of the relaxed memory model (§3.1).
+	CmdInvalidate = 3
+
+	// FlagNotifyDest and FlagCompletion select the vDMA side effects.
+	FlagNotifyDest = 1 << 0
+	FlagCompletion = 1 << 1
+)
+
+// BankCommand is a decoded register-bank write.
+type BankCommand struct {
+	// Requester identity (filled by the task from the transport, not
+	// from register contents).
+	SrcDev, SrcCore int
+
+	DstDev, DstTile, DstOff int
+	Count                   int
+	SrcOff                  int
+	Cmd                     byte
+	Flags                   byte
+	NotifyOff               int
+	ComplOff                int
+	NotifyVal               byte
+	ComplVal                byte
+}
+
+// PackDst encodes a destination triple for the address register.
+func PackDst(dev, tile, off int) uint64 {
+	return uint64(dev)<<40 | uint64(tile)<<24 | uint64(off)
+}
+
+// EncodeBank builds the 32-byte register-bank image for a command; cores
+// write it with a single fused MMIO store.
+func EncodeBank(c BankCommand) [BankBytes]byte {
+	var b [BankBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], PackDst(c.DstDev, c.DstTile, c.DstOff))
+	binary.LittleEndian.PutUint32(b[8:], uint32(c.Count))
+	binary.LittleEndian.PutUint32(b[12:], uint32(c.SrcOff))
+	b[16] = c.Cmd
+	b[17] = c.Flags
+	binary.LittleEndian.PutUint32(b[18:], uint32(c.NotifyOff))
+	binary.LittleEndian.PutUint32(b[22:], uint32(c.ComplOff))
+	b[26] = c.NotifyVal
+	b[27] = c.ComplVal
+	return b
+}
+
+// decodeBank parses a register-bank image.
+func decodeBank(b []byte) BankCommand {
+	dst := binary.LittleEndian.Uint64(b[0:])
+	return BankCommand{
+		DstDev:    int(dst >> 40),
+		DstTile:   int(dst >> 24 & 0xFFFF),
+		DstOff:    int(dst & 0xFFFFFF),
+		Count:     int(binary.LittleEndian.Uint32(b[8:])),
+		SrcOff:    int(binary.LittleEndian.Uint32(b[12:])),
+		Cmd:       b[16],
+		Flags:     b[17],
+		NotifyOff: int(binary.LittleEndian.Uint32(b[18:])),
+		ComplOff:  int(binary.LittleEndian.Uint32(b[22:])),
+		NotifyVal: b[26],
+		ComplVal:  b[27],
+	}
+}
+
+// registerFile holds the per-device, per-core banks of one host register
+// window.
+type registerFile struct {
+	banks map[int][BankBytes]byte // core id -> bank image
+}
+
+func newRegisterFile() *registerFile {
+	return &registerFile{banks: make(map[int][BankBytes]byte)}
+}
+
+// write merges a masked line write into a core's bank and reports
+// whether the control byte was touched with a non-zero command.
+func (rf *registerFile) write(core int, data []byte, mask uint32) (BankCommand, bool) {
+	bank := rf.banks[core]
+	for i := 0; i < BankBytes && i < len(data); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			bank[i] = data[i]
+		}
+	}
+	rf.banks[core] = bank
+	trigger := mask&(1<<16) != 0 && bank[16] != 0
+	return decodeBank(bank[:]), trigger
+}
+
+// read returns a core's bank image.
+func (rf *registerFile) read(core int) [BankBytes]byte { return rf.banks[core] }

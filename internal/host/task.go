@@ -1,0 +1,727 @@
+package host
+
+import (
+	"fmt"
+
+	"vscc/internal/mem"
+	"vscc/internal/pcie"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+)
+
+// Params tunes the communication task beyond the fabric timing.
+type Params struct {
+	// SIFHitCycles is a read served by the device-side SIF response
+	// buffer (on-chip class latency).
+	SIFHitCycles sim.Cycles
+	// SIFBufferLines is the SIF response-buffer capacity.
+	SIFBufferLines int
+	// StreamHeaderBytes is the per-line packet header of streamed read
+	// responses; bulk DMA bursts amortize headers, streamed lines pay it
+	// per line — the bandwidth gap between the vDMA and cached-read paths.
+	StreamHeaderBytes int
+	// DMABurstBytes is the burst size of host DMA transfers (prefetch,
+	// vDMA, WCB flush).
+	DMABurstBytes int
+	// WCBFlushBytes is the dirty-byte threshold that triggers a
+	// write-combining flush.
+	WCBFlushBytes int
+	// ReqBytes/RespBytes/AckBytes are the off-chip packet sizes for
+	// read requests, line responses and write acknowledges.
+	ReqBytes, RespBytes, AckBytes int
+	// WriteHeaderBytes is the per-packet header of a posted line write.
+	WriteHeaderBytes int
+	// ReadOverheadNum/Den model the PCIe read-direction penalty: host
+	// DMA reads from SCC memory through the SIF achieve only ~1/3 of the
+	// write bandwidth (non-posted transactions, split completions; the
+	// sccKit host<->device copy measurements show the same asymmetry).
+	ReadOverheadNum, ReadOverheadDen int
+}
+
+// readBytes inflates a device-read burst by the read-direction penalty.
+func (p Params) readBytes(n int) int {
+	return n*p.ReadOverheadNum/p.ReadOverheadDen + p.StreamHeaderBytes
+}
+
+// DefaultParams returns the calibrated task configuration.
+func DefaultParams() Params {
+	return Params{
+		SIFHitCycles:      150,
+		SIFBufferLines:    512,
+		StreamHeaderBytes: 8,
+		DMABurstBytes:     1024,
+		WCBFlushBytes:     1024,
+		ReqBytes:          16,
+		RespBytes:         48,
+		AckBytes:          8,
+		WriteHeaderBytes:  14,
+		ReadOverheadNum:   13,
+		ReadOverheadDen:   5,
+	}
+}
+
+// Stats counts communication-task activity.
+type Stats struct {
+	SIFHits        uint64
+	CachedReads    uint64
+	ForwardedReads uint64
+	PostedWrites   uint64
+	SyncWrites     uint64
+	StreamedLines  uint64
+	Prefetches     uint64
+	Invalidates    uint64
+	VDMACopies     uint64
+	WCBFlushes     uint64
+	FlagFences     uint64
+}
+
+// Task is the vSCC communication task: the host-resident engine that
+// owns the software cache, write-combining buffers, vDMA controller and
+// register files, and implements the devices' off-chip port.
+type Task struct {
+	Kernel *sim.Kernel
+	Params Params
+	Fabric *pcie.Fabric
+	Chips  []*scc.Chip
+
+	regions   *regionTable
+	regs      map[int]*registerFile
+	caches    map[*Region]*cacheEntry
+	cacheList []*cacheEntry // deterministic iteration order
+	wcbs      map[*Region]*hostWCB
+	wcbList   []*hostWCB
+	sifBufs   []*sifBuffer
+	streams   map[streamKey]*stream
+	streamLst []*stream
+
+	// deliverQ is the per-device outbound delivery queue, drained in FIFO
+	// order by one forwarder daemon per device — the paper's
+	// "multithreaded daemon" with one thread per device (§3.2). FIFO
+	// through a single queue and link preserves data-before-flag order
+	// from any one source.
+	deliverQ []*sim.Queue[deliverItem]
+	// wcbPending counts in-flight write-combining flush bursts per
+	// target device; flag deliveries fence on it.
+	wcbPending []int
+	wcbCond    []*sim.Cond
+
+	// vdmaChans orders vDMA transactions per requesting core: data
+	// bursts of consecutive transactions may pipeline, but notify and
+	// completion flags are issued strictly in programming order, as on a
+	// real per-channel DMA engine.
+	vdmaChans map[[2]int]*vdmaChannel
+
+	stats Stats
+}
+
+// Statically assert the port contract.
+var _ scc.OffChipPort = (*Task)(nil)
+
+// New builds the communication task for the given devices and wires
+// itself in as every chip's off-chip port.
+func New(k *sim.Kernel, fabric *pcie.Fabric, chips []*scc.Chip, params Params) (*Task, error) {
+	if fabric.NumDevices() < len(chips) {
+		return nil, fmt.Errorf("host: fabric has %d links for %d devices", fabric.NumDevices(), len(chips))
+	}
+	t := &Task{
+		Kernel:    k,
+		Params:    params,
+		Fabric:    fabric,
+		Chips:     chips,
+		regions:   newRegionTable(),
+		regs:      make(map[int]*registerFile),
+		caches:    make(map[*Region]*cacheEntry),
+		wcbs:      make(map[*Region]*hostWCB),
+		streams:   make(map[streamKey]*stream),
+		vdmaChans: make(map[[2]int]*vdmaChannel),
+	}
+	for d := range chips {
+		bufLines := params.SIFBufferLines
+		if bufLines <= 0 {
+			bufLines = 1 // placeholder; streaming is disabled
+		}
+		t.sifBufs = append(t.sifBufs, newSIFBuffer(k, d, bufLines))
+		t.wcbPending = append(t.wcbPending, 0)
+		t.wcbCond = append(t.wcbCond, sim.NewCond(k, fmt.Sprintf("wcbpending.d%d", d)))
+		t.deliverQ = append(t.deliverQ, sim.NewQueue[deliverItem](k, fmt.Sprintf("deliverq.d%d", d)))
+		chips[d].OffChip = t
+		d := d
+		k.SpawnDaemon(fmt.Sprintf("commtask.d%d", d), func(p *sim.Proc) { t.runForwarder(p, d) })
+	}
+	return t, nil
+}
+
+// Register adds a region to the task's classification table (the
+// boot-time registration of §3.1). Regions must be 32-byte aligned.
+func (t *Task) Register(rg *Region) error {
+	if rg.Off%mem.LineSize != 0 || rg.Len%mem.LineSize != 0 {
+		return fmt.Errorf("host: region [%d,%d) not line aligned", rg.Off, rg.Off+rg.Len)
+	}
+	if rg.Dev < 0 || rg.Dev >= len(t.Chips) {
+		return fmt.Errorf("host: region on unknown device %d", rg.Dev)
+	}
+	if err := t.regions.add(rg); err != nil {
+		return err
+	}
+	switch rg.Mode {
+	case ModeCached:
+		e := newCacheEntry(t.Kernel, rg)
+		t.caches[rg] = e
+		t.cacheList = append(t.cacheList, e)
+	case ModeWriteCombining:
+		w := newHostWCB(t.Kernel, rg)
+		t.wcbs[rg] = w
+		t.wcbList = append(t.wcbList, w)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (t *Task) Stats() Stats { return t.stats }
+
+// meshToSIF charges the on-chip trip from a core to the system
+// interface tile.
+func (t *Task) meshToSIF(p *sim.Proc, srcDev, srcCore, bytes int) {
+	chip := t.Chips[srcDev]
+	p.Delay(chip.Mesh.TransferLatency(scc.CoreCoord(srcCore), scc.SIFCoord, bytes))
+}
+
+// --- reads ------------------------------------------------------------
+
+// ReadLine implements scc.OffChipPort.
+func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []byte) {
+	t.meshToSIF(p, srcDev, srcCore, t.Params.ReqBytes)
+	key := lineKey(dev, tile, off)
+	sb := t.sifBufs[srcDev]
+	if data, ok := sb.take(key); ok {
+		p.Delay(t.Params.SIFHitCycles)
+		copy(buf, data)
+		t.stats.SIFHits++
+		return
+	}
+	rg := t.regions.find(dev, tile, off)
+	// A stream racing toward this line: wait for it at the SIF instead of
+	// issuing a redundant slow-path read.
+	if rg != nil {
+		for {
+			st := t.streams[streamKey{readerDev: srcDev, rg: rg}]
+			if st == nil || !st.active || off < st.nextOff {
+				break
+			}
+			e := t.caches[rg]
+			if e == nil || off >= rg.Off+e.hotEnd {
+				break
+			}
+			sb.cond.Wait(p)
+			if data, ok := sb.take(key); ok {
+				p.Delay(t.Params.SIFHitCycles)
+				copy(buf, data)
+				t.stats.SIFHits++
+				return
+			}
+		}
+	}
+	// Slow path: cross to the host.
+	link := t.Fabric.Link(srcDev)
+	link.D2H.Transfer(p, t.Params.ReqBytes)
+	p.Delay(t.Fabric.Params.HostOpCycles)
+	if rg != nil && rg.Mode == ModeCached {
+		e := t.caches[rg]
+		for !e.lineValid(off) && e.pending > 0 {
+			e.cond.Wait(p)
+		}
+		if e.lineValid(off) {
+			rel := off - rg.Off
+			copy(buf, e.data[rel:rel+mem.LineSize])
+			t.startStream(srcDev, rg, off+mem.LineSize)
+			link.H2D.Transfer(p, t.Params.RespBytes)
+			t.stats.CachedReads++
+			return
+		}
+	}
+	// Transparent forward to the owning device.
+	tl := t.Fabric.Link(dev)
+	tl.H2D.Transfer(p, t.Params.ReqBytes)
+	var line [mem.LineSize]byte
+	t.Chips[dev].HostReadLMB(tile, off, line[:])
+	tl.D2H.Transfer(p, t.Params.RespBytes)
+	p.Delay(t.Fabric.Params.HostOpCycles)
+	link.H2D.Transfer(p, t.Params.RespBytes)
+	copy(buf, line[:])
+	t.stats.ForwardedReads++
+}
+
+// startStream begins (or leaves running) a prefetch stream into a
+// reader's SIF buffer. A SIFBufferLines of zero disables streaming
+// entirely (every read takes the host round trip) — the ablation knob
+// for the prefetch-to-device design choice.
+func (t *Task) startStream(readerDev int, rg *Region, fromOff int) {
+	if t.Params.SIFBufferLines <= 0 {
+		return
+	}
+	key := streamKey{readerDev: readerDev, rg: rg}
+	if st := t.streams[key]; st != nil && st.active {
+		return
+	}
+	e := t.caches[rg]
+	if e == nil || fromOff >= rg.Off+e.hotEnd {
+		return
+	}
+	st := &stream{readerDev: readerDev, rg: rg, nextOff: fromOff, active: true}
+	t.streams[key] = st
+	t.streamLst = append(t.streamLst, st)
+	t.Kernel.Spawn(fmt.Sprintf("stream.d%d->d%d", rg.Dev, readerDev), func(sp *sim.Proc) {
+		t.runStream(sp, st)
+	})
+}
+
+func (t *Task) runStream(sp *sim.Proc, st *stream) {
+	e := t.caches[st.rg]
+	sb := t.sifBufs[st.readerDev]
+	h2d := t.Fabric.Link(st.readerDev).H2D
+	for st.active && st.nextOff < st.rg.Off+e.hotEnd {
+		if !e.lineValid(st.nextOff) {
+			if e.pending > 0 {
+				e.cond.Wait(sp)
+				continue
+			}
+			break
+		}
+		off := st.nextOff
+		st.nextOff += mem.LineSize
+		rel := off - st.rg.Off
+		data := make([]byte, mem.LineSize)
+		copy(data, e.data[rel:])
+		key := lineKey(st.rg.Dev, st.rg.Tile, off)
+		h2d.TransferAsync(sp, mem.LineSize+t.Params.StreamHeaderBytes, func() {
+			sb.insert(key, data)
+		})
+		t.stats.StreamedLines++
+	}
+	st.active = false
+	sb.cond.Broadcast()
+}
+
+// --- writes -----------------------------------------------------------
+
+// WriteLine implements scc.OffChipPort.
+func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data []byte, mask uint32) {
+	t.meshToSIF(p, srcDev, srcCore, mem.LineSize)
+	rg := t.regions.find(dev, tile, off)
+	link := t.Fabric.Link(srcDev)
+	// Write-combining host window: the new non-transparent fast path —
+	// the write targets host memory, not another device, so the SIF
+	// posts it safely; the core is throttled only by link backpressure
+	// (§2.3/§3.3).
+	if rg != nil && rg.Mode == ModeWriteCombining && rg.Kind == KindData {
+		d := snapshot(data)
+		w := t.wcbs[rg]
+		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+			w.absorb(off, d, mask)
+			t.maybeFlushWCB(w, false)
+		})
+		t.stats.PostedWrites++
+		return
+	}
+	isFlag := rg != nil && rg.Kind == KindFlag
+	// Flag writes — and writes into registered posted-mode buffers — are
+	// "directly acknowledged immediately" under the new protocol (§3.1):
+	// the communication task owns delivery and the data-before-flag
+	// fence (the per-device FIFO), so the core posts and continues.
+	posted := isFlag || (rg != nil && rg.Mode == ModePosted)
+	if posted && t.Fabric.Ack != pcie.AckRemote {
+		d := snapshot(data)
+		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+			t.enqueueDeliver(dev, tile, off, d, mask, true)
+		})
+		t.stats.PostedWrites++
+		return
+	}
+	switch t.Fabric.Ack {
+	case pcie.AckFPGA:
+		// Hardware-accelerated upper bound: the FPGA acks immediately;
+		// delivery proceeds asynchronously through the host. The core
+		// sees only SIF backpressure.
+		d := snapshot(data)
+		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+			t.enqueueDeliver(dev, tile, off, d, mask, isFlag)
+		})
+		t.stats.PostedWrites++
+	case pcie.AckHost:
+		// The communication task acknowledges data writes on receipt;
+		// delivery to the target device continues asynchronously.
+		link.D2H.Transfer(p, mem.LineSize)
+		p.Delay(t.Fabric.Params.HostOpCycles)
+		t.enqueueDeliver(dev, tile, off, snapshot(data), mask, isFlag)
+		link.H2D.Transfer(p, t.Params.AckBytes)
+		t.stats.SyncWrites++
+	case pcie.AckRemote:
+		// Transparent routing: the acknowledge comes back from the
+		// remote device — the previous prototype's two-round-trip path.
+		link.D2H.Transfer(p, mem.LineSize)
+		p.Delay(t.Fabric.Params.HostOpCycles)
+		if isFlag {
+			t.fence(p, dev)
+		}
+		tl := t.Fabric.Link(dev)
+		tl.H2D.Transfer(p, mem.LineSize)
+		t.deliver(dev, tile, off, data, mask)
+		tl.D2H.Transfer(p, t.Params.AckBytes)
+		p.Delay(t.Fabric.Params.HostOpCycles)
+		link.H2D.Transfer(p, t.Params.AckBytes)
+		t.stats.SyncWrites++
+	}
+}
+
+// deliverItem is one queued outbound write toward a device.
+type deliverItem struct {
+	tile, off int
+	data      []byte
+	mask      uint32
+	isFlag    bool
+}
+
+// enqueueDeliver hands a write to the device's forwarder daemon.
+func (t *Task) enqueueDeliver(dev, tile, off int, data []byte, mask uint32, isFlag bool) {
+	t.deliverQ[dev].Push(deliverItem{tile: tile, off: off, data: data, mask: mask, isFlag: isFlag})
+}
+
+// runForwarder is the per-device daemon thread: it drains the delivery
+// queue in FIFO order onto the device's host-to-device link. Flag items
+// first force write-combining buffers targeting the device to flush and
+// wait for those bursts to land, so a flag can never overtake combined
+// data (§3.1).
+func (t *Task) runForwarder(p *sim.Proc, dev int) {
+	q := t.deliverQ[dev]
+	h2d := t.Fabric.Link(dev).H2D
+	for {
+		item := q.Pop(p)
+		if item.isFlag {
+			t.fence(p, dev)
+		}
+		it := item
+		h2d.TransferAsync(p, mem.LineSize, func() {
+			t.deliver(dev, it.tile, it.off, it.data, it.mask)
+		})
+	}
+}
+
+// deliver lands a masked line write in a device's LMB and keeps host
+// copies consistent.
+func (t *Task) deliver(dev, tile, off int, data []byte, mask uint32) {
+	i := 0
+	for i < mem.LineSize && i < len(data) {
+		if mask&(1<<uint(i)) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < mem.LineSize && j < len(data) && mask&(1<<uint(j)) != 0 {
+			j++
+		}
+		t.Chips[dev].HostWriteLMB(tile, off+i, data[i:j])
+		i = j
+	}
+	t.invalidateHostCopies(dev, tile, off, mem.LineSize)
+}
+
+// invalidateHostCopies drops cache and SIF copies overlapping a write.
+func (t *Task) invalidateHostCopies(dev, tile, off, n int) {
+	for _, e := range t.cacheList {
+		rg := e.rg
+		if rg.Dev == dev && rg.Tile == tile && off < rg.Off+rg.Len && rg.Off < off+n {
+			lo := off
+			if lo < rg.Off {
+				lo = rg.Off
+			}
+			hi := off + n
+			if hi > rg.Off+rg.Len {
+				hi = rg.Off + rg.Len
+			}
+			e.invalidate(lo, hi-lo)
+			t.killStreams(rg)
+		}
+	}
+	for _, sb := range t.sifBufs {
+		sb.invalidateRange(dev, tile, off, n)
+	}
+}
+
+// fence blocks until all write-combining bursts toward dev have landed.
+func (t *Task) fence(p *sim.Proc, dev int) {
+	t.flushWCBsTo(dev)
+	for t.wcbPending[dev] > 0 {
+		t.wcbCond[dev].Wait(p)
+	}
+	t.stats.FlagFences++
+}
+
+// --- write combining ----------------------------------------------------
+
+// flushWCBsTo force-flushes every write-combining buffer targeting dev.
+func (t *Task) flushWCBsTo(dev int) {
+	for _, w := range t.wcbList {
+		if w.rg.Dev == dev {
+			t.maybeFlushWCB(w, true)
+		}
+	}
+}
+
+// maybeFlushWCB flushes a host write-combining buffer when it crossed
+// the burst threshold (or unconditionally when forced).
+func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
+	if w.dirtyBytes == 0 {
+		return
+	}
+	if !force && w.dirtyBytes < t.Params.WCBFlushBytes {
+		return
+	}
+	spans := w.takeDirtySpans()
+	if len(spans) == 0 {
+		return
+	}
+	dev := w.rg.Dev
+	t.stats.WCBFlushes++
+	// Count the bursts against the flag fence *now*, so a flag delivery
+	// processed in the same instant cannot slip past the data.
+	bursts := 0
+	for _, span := range spans {
+		bursts += (len(span.data) + t.Params.DMABurstBytes - 1) / t.Params.DMABurstBytes
+	}
+	t.wcbPending[dev] += bursts
+	t.Kernel.Spawn(fmt.Sprintf("wcbflush.d%d", dev), func(fp *sim.Proc) {
+		// Each flush programs one DMA descriptor on the host.
+		fp.Delay(t.Fabric.Params.DMASetupCycles)
+		h2d := t.Fabric.Link(dev).H2D
+		for _, span := range spans {
+			for o := 0; o < len(span.data); o += t.Params.DMABurstBytes {
+				n := len(span.data) - o
+				if n > t.Params.DMABurstBytes {
+					n = t.Params.DMABurstBytes
+				}
+				off := span.off + o
+				data := span.data[o : o+n]
+				h2d.TransferAsync(fp, n+t.Params.StreamHeaderBytes, func() {
+					t.deliverBulk(dev, w.rg.Tile, off, data)
+					t.wcbPending[dev]--
+					t.wcbCond[dev].Broadcast()
+				})
+			}
+		}
+	})
+}
+
+// --- MMIO and the vDMA controller ---------------------------------------
+
+// MMIOWriteLine implements scc.OffChipPort: a fused register write lands
+// in the host register file and may trigger a command.
+func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, data []byte, mask uint32) {
+	t.meshToSIF(p, srcDev, srcCore, mem.LineSize)
+	p.Delay(t.Fabric.Params.SIFAckCycles)
+	d := snapshot(data)
+	t.Fabric.Link(srcDev).D2H.TransferAsync(p, mem.LineSize, func() {
+		t.Kernel.After(t.Fabric.Params.HostOpCycles, func() {
+			rf := t.registerFile(hostDev)
+			core := off / BankBytes
+			cmd, trigger := rf.write(core, d, mask)
+			if trigger {
+				cmd.SrcDev = srcDev
+				cmd.SrcCore = srcCore
+				t.execute(cmd)
+			}
+		})
+	})
+}
+
+// MMIORead implements scc.OffChipPort: a blocking register read.
+func (t *Task) MMIORead(p *sim.Proc, srcDev, srcCore, hostDev, off int, buf []byte) {
+	t.meshToSIF(p, srcDev, srcCore, t.Params.ReqBytes)
+	link := t.Fabric.Link(srcDev)
+	link.D2H.Transfer(p, t.Params.ReqBytes)
+	p.Delay(t.Fabric.Params.HostOpCycles)
+	bank := t.registerFile(hostDev).read(off / BankBytes)
+	link.H2D.Transfer(p, t.Params.RespBytes)
+	rel := off % BankBytes
+	copy(buf, bank[rel:])
+}
+
+func (t *Task) registerFile(dev int) *registerFile {
+	rf, ok := t.regs[dev]
+	if !ok {
+		rf = newRegisterFile()
+		t.regs[dev] = rf
+	}
+	return rf
+}
+
+// execute dispatches a triggered register command.
+func (t *Task) execute(cmd BankCommand) {
+	switch cmd.Cmd {
+	case CmdCopy:
+		t.stats.VDMACopies++
+		ch := t.vdmaChannel(cmd.SrcDev, cmd.SrcCore)
+		ticket := ch.nextTicket
+		ch.nextTicket++
+		t.Kernel.Spawn("vdma.copy", func(p *sim.Proc) { t.runVDMA(p, cmd, ch, ticket) })
+	case CmdUpdate:
+		srcTile := scc.CoreTile(cmd.SrcCore)
+		rg := t.regions.find(cmd.SrcDev, srcTile, cmd.SrcOff)
+		if rg == nil || rg.Mode != ModeCached || rg.Owner != cmd.SrcCore {
+			return // unregistered or foreign region: ignore, like real MMIO
+		}
+		e := t.caches[rg]
+		if end := cmd.SrcOff + cmd.Count - rg.Off; end > e.hotEnd {
+			e.hotEnd = end
+		}
+		t.stats.Prefetches++
+		t.Kernel.Spawn("prefetch", func(p *sim.Proc) { t.runPrefetch(p, rg, cmd.SrcOff, cmd.Count) })
+	case CmdInvalidate:
+		srcTile := scc.CoreTile(cmd.SrcCore)
+		rg := t.regions.find(cmd.SrcDev, srcTile, cmd.SrcOff)
+		if rg == nil || rg.Owner != cmd.SrcCore {
+			return
+		}
+		t.stats.Invalidates++
+		if e := t.caches[rg]; e != nil {
+			e.invalidate(cmd.SrcOff, cmd.Count)
+		}
+		t.killStreams(rg)
+		for _, sb := range t.sifBufs {
+			sb.invalidateRange(rg.Dev, rg.Tile, cmd.SrcOff, cmd.Count)
+		}
+	}
+}
+
+// killStreams deactivates streams sourcing from a region.
+func (t *Task) killStreams(rg *Region) {
+	for _, st := range t.streamLst {
+		if st.rg == rg && st.active {
+			st.active = false
+			t.sifBufs[st.readerDev].cond.Broadcast()
+		}
+	}
+	// Drop finished streams from the list occasionally to bound growth.
+	if len(t.streamLst) > 64 {
+		live := t.streamLst[:0]
+		for _, st := range t.streamLst {
+			if st.active {
+				live = append(live, st)
+			}
+		}
+		t.streamLst = live
+	}
+}
+
+// runPrefetch copies [off, off+count) of a cached region into the host
+// copy in DMA bursts.
+func (t *Task) runPrefetch(p *sim.Proc, rg *Region, off, count int) {
+	e := t.caches[rg]
+	d2h := t.Fabric.Link(rg.Dev).D2H
+	p.Delay(t.Fabric.Params.DMASetupCycles)
+	end := off + count
+	if end > rg.Off+rg.Len {
+		end = rg.Off + rg.Len
+	}
+	for o := off; o < end; o += t.Params.DMABurstBytes {
+		n := end - o
+		if n > t.Params.DMABurstBytes {
+			n = t.Params.DMABurstBytes
+		}
+		oo, nn := o, n
+		e.pending++
+		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
+			rel := oo - rg.Off
+			t.Chips[rg.Dev].HostReadLMB(rg.Tile, oo, e.data[rel:rel+nn])
+			e.markValid(oo, nn)
+			e.pending--
+			e.cond.Broadcast()
+		})
+	}
+}
+
+// vdmaChannel is the per-core DMA ordering state.
+type vdmaChannel struct {
+	nextTicket uint64
+	served     uint64
+	cond       *sim.Cond
+}
+
+func (t *Task) vdmaChannel(dev, core int) *vdmaChannel {
+	key := [2]int{dev, core}
+	ch, ok := t.vdmaChans[key]
+	if !ok {
+		ch = &vdmaChannel{cond: sim.NewCond(t.Kernel, fmt.Sprintf("vdmachan.d%d.c%d", dev, core))}
+		t.vdmaChans[key] = ch
+	}
+	return ch
+}
+
+// runVDMA performs one virtual-DMA copy: requester MPB -> host -> target
+// MPB, pipelined in bursts over both PCIe directions, with optional
+// destination notify and requester completion flag (Fig. 5). Data bursts
+// of back-to-back transactions may overlap; the notify/completion flags
+// are issued in strict programming order via the channel ticket.
+func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uint64) {
+	p.Delay(t.Fabric.Params.DMASetupCycles)
+	srcTile := scc.CoreTile(cmd.SrcCore)
+	srcChip := t.Chips[cmd.SrcDev]
+	d2h := t.Fabric.Link(cmd.SrcDev).D2H
+	for o := 0; o < cmd.Count; o += t.Params.DMABurstBytes {
+		n := cmd.Count - o
+		if n > t.Params.DMABurstBytes {
+			n = t.Params.DMABurstBytes
+		}
+		so := cmd.SrcOff + o
+		do := cmd.DstOff + o
+		last := o+n >= cmd.Count
+		nn := n
+		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
+			data := make([]byte, nn)
+			srcChip.HostReadLMB(srcTile, so, data)
+			t.Kernel.Spawn("vdma.push", func(pp *sim.Proc) {
+				h2d := t.Fabric.Link(cmd.DstDev).H2D
+				h2d.TransferAsync(pp, nn+t.Params.StreamHeaderBytes, func() {
+					t.deliverBulk(cmd.DstDev, cmd.DstTile, do, data)
+					if last {
+						t.Kernel.Spawn("vdma.finish", func(fp *sim.Proc) {
+							t.finishVDMA(fp, cmd, ch, ticket)
+						})
+					}
+				})
+			})
+		})
+	}
+}
+
+// finishVDMA issues the notify and completion flags of a transaction
+// once all earlier transactions of the same channel have issued theirs.
+func (t *Task) finishVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uint64) {
+	for ch.served != ticket {
+		ch.cond.Wait(p)
+	}
+	if cmd.Flags&FlagNotifyDest != 0 {
+		t.Fabric.Link(cmd.DstDev).H2D.TransferAsync(p, t.Params.AckBytes, func() {
+			t.Chips[cmd.DstDev].HostWriteLMB(cmd.DstTile, cmd.NotifyOff, []byte{cmd.NotifyVal})
+		})
+	}
+	if cmd.Flags&FlagCompletion != 0 {
+		t.Fabric.Link(cmd.SrcDev).H2D.TransferAsync(p, t.Params.AckBytes, func() {
+			t.Chips[cmd.SrcDev].HostWriteLMB(scc.CoreTile(cmd.SrcCore), cmd.ComplOff, []byte{cmd.ComplVal})
+		})
+	}
+	ch.served = ticket + 1
+	ch.cond.Broadcast()
+}
+
+// deliverBulk lands a contiguous multi-line write (DMA burst) in a
+// device's LMB and keeps host copies consistent.
+func (t *Task) deliverBulk(dev, tile, off int, data []byte) {
+	t.Chips[dev].HostWriteLMB(tile, off, data)
+	t.invalidateHostCopies(dev, tile, off, len(data))
+}
+
+func snapshot(data []byte) []byte {
+	d := make([]byte, len(data))
+	copy(d, data)
+	return d
+}

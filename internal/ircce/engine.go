@@ -1,0 +1,260 @@
+package ircce
+
+import (
+	"fmt"
+
+	"vscc/internal/rcce"
+)
+
+// Engine provides iRCCE's non-blocking Isend/Irecv on top of the
+// clear-based RCCE handshake. Progress is cooperative: request state
+// machines advance only inside Test, Wait, WaitAll or Push — exactly like
+// iRCCE on the bare-metal SCC, which has no background thread to drive
+// communication.
+//
+// Requirements, mirroring the C library's: the session must run the
+// blocking DefaultProtocol (counter-based protocols use the same flag
+// bytes with incompatible semantics), blocking Send/Recv must not be
+// mixed with outstanding requests to the same peer, and messages between
+// a rank pair match in FIFO order (RCCE has no tags).
+type Engine struct {
+	r     *rcce.Rank
+	sendQ map[int][]*Request
+	recvQ map[int][]*Request
+}
+
+// New creates a request engine for rank r.
+func New(r *rcce.Rank) *Engine {
+	return &Engine{r: r, sendQ: map[int][]*Request{}, recvQ: map[int][]*Request{}}
+}
+
+// Request is one outstanding non-blocking operation.
+type Request struct {
+	eng  *Engine
+	send bool
+	peer int
+
+	rest []byte // unsent payload (send) or unfilled buffer (recv)
+	sent int    // total payload bytes for traffic reporting
+
+	waitingAck bool // send: a chunk is in the MPB awaiting the ready flag
+	done       bool
+}
+
+// Done reports completion without progressing the request.
+func (q *Request) Done() bool { return q.done }
+
+// Peer returns the remote rank.
+func (q *Request) Peer() int { return q.peer }
+
+// Isend starts a non-blocking send to dest and attempts immediate
+// progress.
+func (e *Engine) Isend(dest int, data []byte) (*Request, error) {
+	if dest == e.r.ID() {
+		return nil, fmt.Errorf("ircce: isend to self on rank %d", dest)
+	}
+	q := &Request{eng: e, send: true, peer: dest, rest: data, sent: len(data)}
+	if len(data) == 0 { // zero-size messages complete without flag traffic
+		q.done = true
+		return q, nil
+	}
+	e.sendQ[dest] = append(e.sendQ[dest], q)
+	e.Push()
+	return q, nil
+}
+
+// Irecv starts a non-blocking receive from src and attempts immediate
+// progress.
+func (e *Engine) Irecv(src int, buf []byte) (*Request, error) {
+	if src == e.r.ID() {
+		return nil, fmt.Errorf("ircce: irecv from self on rank %d", src)
+	}
+	q := &Request{eng: e, send: false, peer: src, rest: buf}
+	if len(buf) == 0 {
+		q.done = true
+		return q, nil
+	}
+	e.recvQ[src] = append(e.recvQ[src], q)
+	e.Push()
+	return q, nil
+}
+
+// Push advances every queue head as far as possible without blocking and
+// reports whether anything progressed (iRCCE_push). Queues are visited
+// in ascending peer order to keep the simulation deterministic.
+func (e *Engine) Push() bool {
+	progressed := false
+	for _, peer := range sortedPeers(e.sendQ) {
+		if e.pushQueue(e.sendQ, peer) {
+			progressed = true
+		}
+	}
+	for _, peer := range sortedPeers(e.recvQ) {
+		if e.pushQueue(e.recvQ, peer) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+func (e *Engine) pushQueue(m map[int][]*Request, peer int) bool {
+	q := m[peer]
+	progressed := false
+	for len(q) > 0 && q[0].push() {
+		progressed = true
+		if q[0].done {
+			q = q[1:]
+		}
+	}
+	if len(q) > 0 && q[0].done { // stale completed head
+		q = q[1:]
+		progressed = true
+	}
+	m[peer] = q
+	return progressed
+}
+
+func sortedPeers(m map[int][]*Request) []int {
+	peers := make([]int, 0, len(m))
+	for p, q := range m {
+		if len(q) > 0 {
+			peers = append(peers, p)
+		}
+	}
+	for i := 1; i < len(peers); i++ { // insertion sort; tiny n
+		for j := i; j > 0 && peers[j-1] > peers[j]; j-- {
+			peers[j-1], peers[j] = peers[j], peers[j-1]
+		}
+	}
+	return peers
+}
+
+// Test pushes progress once and reports whether the request completed
+// (iRCCE_test).
+func (e *Engine) Test(q *Request) bool {
+	e.Push()
+	return q.done
+}
+
+// Wait blocks until the request completes (iRCCE_wait), sleeping on
+// local MPB changes between progress attempts.
+func (e *Engine) Wait(q *Request) {
+	e.WaitAll(q)
+}
+
+// WaitAll blocks until every given request completes.
+func (e *Engine) WaitAll(reqs ...*Request) {
+	for {
+		allDone := true
+		for _, q := range reqs {
+			if !q.done {
+				allDone = false
+			}
+		}
+		if allDone {
+			return
+		}
+		if e.Push() {
+			continue
+		}
+		// Nothing progressed: every stalled head is waiting on a local
+		// flag. Re-check those flags without yielding, then sleep until
+		// any store lands in our tile — the only way a flag can change.
+		if e.anyActionable() {
+			continue
+		}
+		e.r.WaitAnyLocalChange()
+	}
+}
+
+// anyActionable peeks (without yielding) whether any queue head could
+// progress; it closes the race between the last poll and going to sleep.
+func (e *Engine) anyActionable() bool {
+	for _, peer := range sortedPeers(e.sendQ) {
+		h := e.sendQ[peer][0]
+		if !h.waitingAck || e.r.PeekReady(peer) {
+			return true
+		}
+	}
+	for _, peer := range sortedPeers(e.recvQ) {
+		if e.r.PeekSent(peer) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pending reports the number of incomplete requests.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, q := range e.sendQ {
+		n += len(q)
+	}
+	for _, q := range e.recvQ {
+		n += len(q)
+	}
+	return n
+}
+
+// push advances one request as far as possible; it returns true if any
+// step was taken.
+func (q *Request) push() bool {
+	if q.done {
+		return false
+	}
+	r := q.eng.r
+	ctx := r.Ctx()
+	progressed := false
+	if q.send {
+		myDev, myTile, myBase := r.MPBOf(r.ID())
+		for {
+			if q.waitingAck {
+				if !r.PeekReady(q.peer) {
+					return progressed
+				}
+				ctx.Delay(ctx.Params().FlagPollCycles)
+				r.ClearReady(q.peer)
+				q.waitingAck = false
+				progressed = true
+				if len(q.rest) == 0 {
+					q.done = true
+					r.Session().ReportTraffic(r.ID(), q.peer, q.sent)
+					return true
+				}
+			}
+			n := len(q.rest)
+			if n > rcce.ChunkBytes {
+				n = rcce.ChunkBytes
+			}
+			ctx.CopyPrivate(n)
+			ctx.WriteMPB(myDev, myTile, myBase, q.rest[:n])
+			ctx.FlushWCB()
+			r.SignalSent(q.peer)
+			q.rest = q.rest[n:]
+			q.waitingAck = true
+			progressed = true
+		}
+	}
+	srcDev, srcTile, srcBase := r.MPBOf(q.peer)
+	for {
+		if len(q.rest) == 0 {
+			q.done = true
+			return true
+		}
+		if !r.PeekSent(q.peer) {
+			return progressed
+		}
+		ctx.Delay(ctx.Params().FlagPollCycles)
+		r.ClearSent(q.peer)
+		n := len(q.rest)
+		if n > rcce.ChunkBytes {
+			n = rcce.ChunkBytes
+		}
+		ctx.InvalidateMPB()
+		ctx.ReadMPB(srcDev, srcTile, srcBase, q.rest[:n])
+		ctx.CopyPrivate(n)
+		r.SignalReady(q.peer)
+		q.rest = q.rest[n:]
+		progressed = true
+	}
+}

@@ -1,0 +1,97 @@
+package mem
+
+// L1 models the first-level cache behaviour of the SCC's MPBT memory
+// type. MPBT data in write-through configuration is cached only in L1;
+// all deeper caches are bypassed. There is no hardware coherence: a line
+// cached here goes stale the moment another core writes the underlying
+// MPB, until the owning core executes CL1INVMB (modelled by
+// InvalidateAll), which invalidates every MPBT-tagged line in one
+// instruction.
+//
+// The cache stores real line contents so that a missing invalidation
+// produces genuinely stale reads, reproducing the SCC programming model.
+type L1 struct {
+	lines    map[uint64]*[LineSize]byte
+	order    []uint64 // FIFO eviction order
+	maxLines int
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	flushes   uint64
+}
+
+// NewL1 returns a cache holding at most maxLines MPBT lines. The SCC's
+// 16 KB L1 data cache holds 512 lines; MPBT data shares it with private
+// data, so smaller budgets are realistic too.
+func NewL1(maxLines int) *L1 {
+	if maxLines <= 0 {
+		panic("mem: L1 with non-positive capacity")
+	}
+	return &L1{lines: make(map[uint64]*[LineSize]byte), maxLines: maxLines}
+}
+
+// Lookup returns the cached copy of the line keyed by key, if present.
+// The returned slice aliases cache storage; callers must not modify it.
+func (c *L1) Lookup(key uint64) ([]byte, bool) {
+	if ln, ok := c.lines[key]; ok {
+		c.hits++
+		return ln[:], true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Contains reports whether the line is cached, without touching hit/miss
+// counters.
+func (c *L1) Contains(key uint64) bool {
+	_, ok := c.lines[key]
+	return ok
+}
+
+// Fill inserts a line fetched from memory, evicting the oldest line if
+// the cache is full.
+func (c *L1) Fill(key uint64, data [LineSize]byte) {
+	if _, ok := c.lines[key]; !ok {
+		if len(c.order) >= c.maxLines {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.lines, oldest)
+			c.evictions++
+		}
+		c.order = append(c.order, key)
+	}
+	d := data
+	c.lines[key] = &d
+}
+
+// UpdateIfPresent applies a write-through store to the cached copy, if
+// the line is resident. off is the byte offset within the line.
+func (c *L1) UpdateIfPresent(key uint64, off int, data []byte) {
+	ln, ok := c.lines[key]
+	if !ok {
+		return
+	}
+	copy(ln[off:], data)
+}
+
+// InvalidateAll models CL1INVMB: every MPBT line is dropped in a single
+// instruction.
+func (c *L1) InvalidateAll() {
+	c.lines = make(map[uint64]*[LineSize]byte)
+	c.order = c.order[:0]
+	c.flushes++
+}
+
+// Len reports the number of resident lines.
+func (c *L1) Len() int { return len(c.lines) }
+
+// L1Stats is a snapshot of cache counters.
+type L1Stats struct {
+	Hits, Misses, Evictions, Flushes uint64
+}
+
+// Stats returns counters accumulated since creation.
+func (c *L1) Stats() L1Stats {
+	return L1Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Flushes: c.flushes}
+}

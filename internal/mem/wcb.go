@@ -1,0 +1,94 @@
+package mem
+
+// WCB models the SCC's write-combine buffer: a single 32-byte line buffer
+// between a core and the mesh that merges consecutive stores to the same
+// line into one mesh transaction. It drains when the core writes a
+// different line or flushes explicitly. The paper exploits this to fuse
+// the three vDMA control registers (address, count, control), allocated
+// contiguously with 32 B alignment, into a single remote write.
+type WCB struct {
+	valid bool
+	key   uint64
+	buf   [LineSize]byte
+	mask  uint32 // bit i set = byte i written
+
+	merges  uint64
+	drains  uint64
+	partial uint64
+}
+
+// Pending describes a drained WCB line to be written to memory.
+type Pending struct {
+	Key  uint64
+	Data [LineSize]byte
+	Mask uint32 // which bytes are valid
+}
+
+// Full reports whether every byte of the pending line was written.
+func (p Pending) Full() bool { return p.Mask == 0xFFFFFFFF }
+
+// Bytes returns the number of valid bytes in the pending line.
+func (p Pending) Bytes() int {
+	n := 0
+	for m := p.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Write merges a store of data at byte offset off into the line keyed by
+// key. If the WCB currently holds a different line, that line drains and
+// is returned; otherwise drained is nil. len(data) must fit in the line.
+func (w *WCB) Write(key uint64, off int, data []byte) (drained *Pending) {
+	if off < 0 || off+len(data) > LineSize {
+		panic("mem: WCB write outside line")
+	}
+	if w.valid && w.key != key {
+		d := w.take()
+		drained = &d
+	}
+	if !w.valid {
+		w.valid = true
+		w.key = key
+		w.mask = 0
+	} else {
+		w.merges++
+	}
+	copy(w.buf[off:], data)
+	for i := 0; i < len(data); i++ {
+		w.mask |= 1 << uint(off+i)
+	}
+	return drained
+}
+
+// Flush drains the buffered line, if any.
+func (w *WCB) Flush() *Pending {
+	if !w.valid {
+		return nil
+	}
+	d := w.take()
+	return &d
+}
+
+// Dirty reports whether a line is buffered.
+func (w *WCB) Dirty() bool { return w.valid }
+
+func (w *WCB) take() Pending {
+	p := Pending{Key: w.key, Data: w.buf, Mask: w.mask}
+	w.valid = false
+	w.drains++
+	if !p.Full() {
+		w.partial++
+	}
+	return p
+}
+
+// WCBStats is a snapshot of write-combine counters.
+type WCBStats struct {
+	Merges, Drains, PartialDrains uint64
+}
+
+// Stats returns counters accumulated since creation.
+func (w *WCB) Stats() WCBStats {
+	return WCBStats{Merges: w.merges, Drains: w.drains, PartialDrains: w.partial}
+}

@@ -1,0 +1,137 @@
+package noc
+
+import (
+	"fmt"
+
+	"vscc/internal/sim"
+)
+
+// Link is a shared serial resource with a fixed per-transfer latency and a
+// finite bandwidth — a latency-rate server. Concurrent transfers are
+// serialized in arrival order, which deterministically models contention
+// on a single physical channel such as the SCC system-interface port at
+// tile (3,0) or a PCIe lane group.
+type Link struct {
+	name string
+	// Latency is the fixed head latency of any transfer.
+	Latency sim.Cycles
+	// CyclesPerByte expresses bandwidth as cycles of channel occupancy per
+	// payload byte (scaled by 1024 for sub-cycle precision).
+	cyclesPerByteX1024 uint64
+	// nextFree is the simulated time at which the channel becomes idle.
+	nextFree sim.Cycles
+
+	// Stats.
+	bytesTotal    uint64
+	transfers     uint64
+	busyCycles    sim.Cycles
+	waitedCycles  sim.Cycles
+	maxQueueDelay sim.Cycles
+}
+
+// NewLink creates a link. bytesPerCycle expresses bandwidth in payload
+// bytes per core cycle (may be fractional, e.g. 0.25).
+func NewLink(name string, latency sim.Cycles, bytesPerCycle float64) *Link {
+	if bytesPerCycle <= 0 {
+		panic(fmt.Sprintf("noc: link %q with non-positive bandwidth", name))
+	}
+	return &Link{
+		name:               name,
+		Latency:            latency,
+		cyclesPerByteX1024: uint64(1024/bytesPerCycle + 0.5),
+	}
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// OccupancyFor returns the channel occupancy time for a payload.
+func (l *Link) OccupancyFor(bytes int) sim.Cycles {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return sim.Cycles((uint64(bytes)*l.cyclesPerByteX1024 + 1023) / 1024)
+}
+
+// Transfer moves bytes across the link from process context, blocking the
+// caller for queueing delay + latency + serialization. It returns the
+// cycles actually spent.
+func (l *Link) Transfer(p *sim.Proc, bytes int) sim.Cycles {
+	now := p.Now()
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	occ := l.OccupancyFor(bytes)
+	l.nextFree = start + occ
+	done := l.nextFree + l.Latency
+	queued := start - now
+	l.transfers++
+	l.bytesTotal += uint64(bytes)
+	l.busyCycles += occ
+	l.waitedCycles += queued
+	if queued > l.maxQueueDelay {
+		l.maxQueueDelay = queued
+	}
+	p.Delay(done - now)
+	return done - now
+}
+
+// TransferAsync reserves channel occupancy like Transfer but overlaps the
+// propagation latency: the caller is delayed only until its bytes are on
+// the wire, and onDelivered fires (as a kernel callback) when they arrive
+// at the far end. Back-to-back TransferAsync calls therefore pipeline —
+// the behaviour of posted writes and streaming DMA engines. Deliveries on
+// one link never reorder.
+func (l *Link) TransferAsync(p *sim.Proc, bytes int, onDelivered func()) {
+	now := p.Now()
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	occ := l.OccupancyFor(bytes)
+	l.nextFree = start + occ
+	deliveredAt := l.nextFree + l.Latency
+	queued := start - now
+	l.transfers++
+	l.bytesTotal += uint64(bytes)
+	l.busyCycles += occ
+	l.waitedCycles += queued
+	if queued > l.maxQueueDelay {
+		l.maxQueueDelay = queued
+	}
+	if onDelivered != nil {
+		p.Kernel().At(deliveredAt, onDelivered)
+	}
+	p.Delay(l.nextFree - now)
+}
+
+// EarliestCompletion returns when a transfer submitted now would complete,
+// without reserving the channel — used by lookahead heuristics.
+func (l *Link) EarliestCompletion(now sim.Cycles, bytes int) sim.Cycles {
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	return start + l.OccupancyFor(bytes) + l.Latency
+}
+
+// LinkStats is a snapshot of link usage counters.
+type LinkStats struct {
+	Transfers     uint64
+	BytesTotal    uint64
+	BusyCycles    sim.Cycles
+	WaitedCycles  sim.Cycles
+	MaxQueueDelay sim.Cycles
+}
+
+// Stats returns usage counters accumulated since creation.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		Transfers:     l.transfers,
+		BytesTotal:    l.bytesTotal,
+		BusyCycles:    l.busyCycles,
+		WaitedCycles:  l.waitedCycles,
+		MaxQueueDelay: l.maxQueueDelay,
+	}
+}

@@ -1,0 +1,128 @@
+package npb
+
+// Block is a 5x5 matrix block of the tridiagonal systems (one flow
+// variable per component in real BT).
+type Block [5][5]float64
+
+// Vec5 is a 5-component state vector.
+type Vec5 [5]float64
+
+// identity returns the 5x5 identity scaled by s.
+func identity(s float64) Block {
+	var b Block
+	for i := 0; i < 5; i++ {
+		b[i][i] = s
+	}
+	return b
+}
+
+// mulBlock returns a*b.
+func mulBlock(a, b Block) Block {
+	var c Block
+	for i := 0; i < 5; i++ {
+		for k := 0; k < 5; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < 5; j++ {
+				c[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return c
+}
+
+// subBlock returns a-b.
+func subBlock(a, b Block) Block {
+	var c Block
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			c[i][j] = a[i][j] - b[i][j]
+		}
+	}
+	return c
+}
+
+// mulVec returns a*v.
+func mulVec(a Block, v Vec5) Vec5 {
+	var out Vec5
+	for i := 0; i < 5; i++ {
+		s := 0.0
+		for j := 0; j < 5; j++ {
+			s += a[i][j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// subVec returns a-b.
+func subVec(a, b Vec5) Vec5 {
+	var c Vec5
+	for i := 0; i < 5; i++ {
+		c[i] = a[i] - b[i]
+	}
+	return c
+}
+
+// invBlock returns the inverse of a via Gauss-Jordan elimination with
+// partial pivoting. BT's blocks are strongly diagonally dominant, so the
+// elimination never degenerates for well-formed systems; a zero pivot
+// panics, as the Fortran original would blow up.
+func invBlock(a Block) Block {
+	var aug [5][10]float64
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			aug[i][j] = a[i][j]
+		}
+		aug[i][5+i] = 1
+	}
+	for col := 0; col < 5; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := abs(aug[col][col])
+		for r := col + 1; r < 5; r++ {
+			if v := abs(aug[r][col]); v > maxAbs {
+				maxAbs = v
+				pivot = r
+			}
+		}
+		if maxAbs == 0 {
+			panic("npb: singular block in tridiagonal elimination")
+		}
+		if pivot != col {
+			aug[pivot], aug[col] = aug[col], aug[pivot]
+		}
+		inv := 1 / aug[col][col]
+		for j := 0; j < 10; j++ {
+			aug[col][j] *= inv
+		}
+		for r := 0; r < 5; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 10; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	var out Block
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			out[i][j] = aug[i][5+j]
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

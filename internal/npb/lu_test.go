@@ -1,0 +1,225 @@
+package npb
+
+import (
+	"math"
+	"testing"
+
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+	"vscc/internal/vscc"
+)
+
+func runLU(t *testing.T, class Class, ranks, iters int, timing bool) Result {
+	t.Helper()
+	k := sim.NewKernel()
+	chip := scc.NewChip(k, 0, scc.DefaultParams())
+	places, err := rcce.LinearPlaces([]*scc.Chip{chip}, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := rcce.NewSession(k, []*scc.Chip{chip}, places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewLUDecomp(class.N, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLU(session, d, Config{Class: class, Iterations: iters, Timing: timing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLUDecompFactorization(t *testing.T) {
+	cases := []struct{ ranks, px, py int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {8, 4, 2}, {9, 3, 3}, {12, 4, 3}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		d, err := NewLUDecomp(24, c.ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Px != c.px || d.Py != c.py {
+			t.Errorf("ranks=%d: grid %dx%d, want %dx%d", c.ranks, d.Px, d.Py, c.px, c.py)
+		}
+	}
+	if _, err := NewLUDecomp(2, 9); err == nil {
+		t.Error("grid larger than the domain accepted")
+	}
+}
+
+func TestLUDecompSizes(t *testing.T) {
+	d, err := NewLUDecomp(13, 6) // uneven splits
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumX := 0
+	for _, s := range d.xs {
+		sumX += s
+	}
+	sumY := 0
+	for _, s := range d.ys {
+		sumY += s
+	}
+	if sumX != 13 || sumY != 13 {
+		t.Errorf("splits sum to %d/%d, want 13", sumX, sumY)
+	}
+}
+
+func TestLUCoordRoundTrip(t *testing.T) {
+	d, _ := NewLUDecomp(24, 12)
+	for rank := 0; rank < 12; rank++ {
+		pi, pj := d.Coord(rank)
+		if d.RankAt(pi, pj) != rank {
+			t.Fatalf("coord round trip broken for rank %d", rank)
+		}
+	}
+	if d.RankAt(-1, 0) != -1 || d.RankAt(d.Px, 0) != -1 {
+		t.Error("out-of-grid neighbour not -1")
+	}
+}
+
+func TestLUSerialVsParallel(t *testing.T) {
+	const iters = 3
+	ref := runLU(t, ClassS, 1, iters, false)
+	if ref.Checksum == (Vec5{}) {
+		t.Fatal("zero checksum")
+	}
+	for _, ranks := range []int{2, 4, 6, 9} {
+		got := runLU(t, ClassS, ranks, iters, false)
+		for m := 0; m < 5; m++ {
+			rel := math.Abs(got.Checksum[m]-ref.Checksum[m]) / math.Abs(ref.Checksum[m])
+			if rel > 1e-9 {
+				t.Errorf("%d ranks: checksum[%d] off by %.2e", ranks, m, rel)
+			}
+		}
+	}
+}
+
+func TestLUEvolves(t *testing.T) {
+	one := runLU(t, ClassS, 4, 1, false)
+	two := runLU(t, ClassS, 4, 2, false)
+	if one.Checksum == two.Checksum {
+		t.Error("LU checksum did not evolve")
+	}
+}
+
+func TestLUCrossDevice(t *testing.T) {
+	ref := runLU(t, ClassS, 4, 2, false)
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: vscc.SchemeVDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	places := []rcce.Place{{Dev: 0, Core: 0}, {Dev: 0, Core: 1}, {Dev: 1, Core: 0}, {Dev: 1, Core: 1}}
+	session, err := sys.NewSessionAt(places)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewLUDecomp(ClassS.N, 4)
+	res, err := RunLU(session, d, Config{Class: ClassS, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 5; m++ {
+		rel := math.Abs(res.Checksum[m]-ref.Checksum[m]) / math.Abs(ref.Checksum[m])
+		if rel > 1e-9 {
+			t.Errorf("cross-device checksum[%d] off by %.2e", m, rel)
+		}
+	}
+}
+
+func TestLUTimingMatchesRealTraffic(t *testing.T) {
+	capture := func(timing bool) *trace.Matrix {
+		k := sim.NewKernel()
+		chip := scc.NewChip(k, 0, scc.DefaultParams())
+		places, _ := rcce.LinearPlaces([]*scc.Chip{chip}, 6)
+		m := trace.NewMatrix(6, 0)
+		session, err := rcce.NewSession(k, []*scc.Chip{chip}, places, rcce.WithTrafficObserver(m.Record))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := NewLUDecomp(ClassS.N, 6)
+		if _, err := RunLU(session, d, Config{Class: ClassS, Iterations: 1, Timing: timing}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	real := capture(false)
+	timing := capture(true)
+	if real.Total() == 0 {
+		t.Fatal("no traffic")
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if real.Bytes(i, j) != timing.Bytes(i, j) {
+				t.Errorf("traffic[%d][%d] differs: %d vs %d", i, j, real.Bytes(i, j), timing.Bytes(i, j))
+			}
+		}
+	}
+}
+
+func TestLUManySmallMessages(t *testing.T) {
+	// The defining contrast to BT: LU's sweep messages are small and
+	// numerous (2 per plane per direction), so the message count per
+	// rank per iteration scales with N.
+	k := sim.NewKernel()
+	chip := scc.NewChip(k, 0, scc.DefaultParams())
+	places, _ := rcce.LinearPlaces([]*scc.Chip{chip}, 4)
+	count := 0
+	var maxBytes int
+	session, err := rcce.NewSession(k, []*scc.Chip{chip}, places, rcce.WithTrafficObserver(func(src, dest, bytes int) {
+		count++
+		if bytes > maxBytes {
+			maxBytes = bytes
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewLUDecomp(ClassS.N, 4)
+	if _, err := RunLU(session, d, Config{Class: ClassS, Iterations: 1, Timing: true}); err != nil {
+		t.Fatal(err)
+	}
+	// 4 face exchanges + 2 sweeps x N planes x (1 east + 1 south per
+	// interior rank) => hundreds of messages even at class S.
+	if count < 4*ClassS.N {
+		t.Errorf("only %d messages — LU should send per-plane pencils", count)
+	}
+	// Sweep pencils are tiny (6 points x 40 B = 240 B at class S / q=2).
+	if maxBytes > ClassS.N*ClassS.N*5*8 {
+		t.Errorf("max message %d B — larger than a full face", maxBytes)
+	}
+}
+
+func TestLUSchemeSensitivity(t *testing.T) {
+	// LU's latency-bound pattern punishes the transparent path far more
+	// than the vDMA scheme across a device boundary.
+	run := func(scheme vscc.Scheme) sim.Cycles {
+		k := sim.NewKernel()
+		sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		places := []rcce.Place{{Dev: 0, Core: 0}, {Dev: 0, Core: 1}, {Dev: 1, Core: 0}, {Dev: 1, Core: 1}}
+		session, err := sys.NewSessionAt(places)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := NewLUDecomp(ClassS.N, 4)
+		res, err := RunLU(session, d, Config{Class: ClassS, Iterations: 1, Timing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	fast := run(vscc.SchemeVDMA)
+	slow := run(vscc.SchemeRouting)
+	if slow < 2*fast {
+		t.Errorf("routing (%d cycles) should be >2x slower than vDMA (%d) for LU", slow, fast)
+	}
+}

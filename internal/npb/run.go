@@ -1,0 +1,41 @@
+package npb
+
+import (
+	"fmt"
+
+	"vscc/internal/rcce"
+)
+
+// RunOn executes BT on an existing session, which must have exactly
+// d.Ranks() ranks, and returns rank 0's result.
+func RunOn(session *rcce.Session, d *Decomp, cfg Config) (Result, error) {
+	if session.NumRanks() != d.Ranks() {
+		return Result{}, fmt.Errorf("npb: session has %d ranks, decomposition needs %d", session.NumRanks(), d.Ranks())
+	}
+	var res Result
+	if err := session.Run(Program(d, cfg, &res)); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// MessageVolume predicts the per-iteration communication volume in bytes
+// between a rank and its +x neighbour — the heaviest pair of the traffic
+// matrix (copy_faces plus both sweep boundary flows). The harness uses
+// it to cross-check the measured matrix against the paper's ~186 MB
+// figure for 64 ranks, class C, 200 iterations.
+func (d *Decomp) MessageVolume(rank int) int {
+	total := 0
+	for c := 0; c < d.Q; c++ {
+		cx, cy, cz := d.CellCoord(rank, c)
+		if cx >= d.Q-1 {
+			continue // no east neighbour for this cell
+		}
+		face := d.Size(cy) * d.Size(cz)
+		total += face * 5 * 8                // copy_faces east face
+		total += face * forwardBoundaryBytes // forward elimination boundary
+		// The backward boundary flows the other way (from the +x
+		// neighbour to us) and lands on their row of the matrix.
+	}
+	return total
+}

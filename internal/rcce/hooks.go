@@ -1,0 +1,111 @@
+package rcce
+
+// This file exports the low-level handshake primitives that alternative
+// wire protocols build on: the pipelined protocol of package ircce and
+// the host-accelerated inter-device schemes of package vscc. Application
+// code should use Send/Recv and the gory interface instead.
+
+// MPBOf returns the (device, tile, base-offset) triple locating a rank's
+// MPB half — the address a protocol reads from or writes to.
+func (r *Rank) MPBOf(rank int) (dev, tile, base int) {
+	r.checkPeer(rank)
+	return r.mpb(rank)
+}
+
+// SignalSent raises this rank's sent flag at rank dest — "data is in my
+// buffer".
+func (r *Rank) SignalSent(dest int) { r.setSent(dest, 1) }
+
+// SignalReady raises this rank's ready flag at rank dest — "your buffer
+// has been drained".
+func (r *Rank) SignalReady(dest int) { r.setReady(dest, 1) }
+
+// AwaitSent blocks until rank src has signalled data, then clears the
+// flag (the waiter owns the clear).
+func (r *Rank) AwaitSent(src int) { r.waitSent(src) }
+
+// AwaitReady blocks until rank dest has acknowledged a drain, then
+// clears the flag.
+func (r *Rank) AwaitReady(dest int) { r.waitReady(dest) }
+
+// PeekSent reports, without yielding simulated time, whether rank src's
+// sent flag is raised here. For non-blocking progress engines.
+func (r *Rank) PeekSent(src int) bool {
+	_, tile, base := r.mpb(r.id)
+	return r.ctx.PeekLMB(tile, base+sentFlagBase+src) != 0
+}
+
+// PeekReady reports whether rank dest's ready flag is raised here.
+func (r *Rank) PeekReady(dest int) bool {
+	_, tile, base := r.mpb(r.id)
+	return r.ctx.PeekLMB(tile, base+readyFlagBase+dest) != 0
+}
+
+// ClearSent consumes a raised sent flag (charging the local flag write).
+func (r *Rank) ClearSent(src int) {
+	dev, tile, base := r.mpb(r.id)
+	r.ctx.WriteMPB(dev, tile, base+sentFlagBase+src, []byte{0})
+	r.ctx.FlushWCB()
+}
+
+// ClearReady consumes a raised ready flag.
+func (r *Rank) ClearReady(dest int) {
+	dev, tile, base := r.mpb(r.id)
+	r.ctx.WriteMPB(dev, tile, base+readyFlagBase+dest, []byte{0})
+	r.ctx.FlushWCB()
+}
+
+// WaitAnyLocalChange blocks until any store lands in this rank's tile —
+// the wake condition for every flag this rank could be waiting on, since
+// RCCE spins only on local flags.
+func (r *Rank) WaitAnyLocalChange() {
+	_, tile, _ := r.mpb(r.id)
+	r.ctx.WaitLMBChange(tile)
+}
+
+// Flag-array kinds for FlagByteAt.
+const (
+	FlagSent = iota
+	FlagReady
+	FlagGrant
+	FlagDMAC
+)
+
+// FlagByteAt exposes raw flag-byte addressing for protocol extensions
+// (sent, ready, grant and vDMA-completion arrays). It returns the offset
+// within the rank's MPB half.
+func FlagByteAt(kind, peer int) int {
+	switch kind {
+	case FlagSent:
+		return sentFlagBase + peer
+	case FlagReady:
+		return readyFlagBase + peer
+	case FlagGrant:
+		return grantFlagBase + peer
+	case FlagDMAC:
+		return dmacFlagBase + peer
+	}
+	panic("rcce: unknown flag kind")
+}
+
+// PeekFlagByte reads a local flag byte's current value without yielding
+// simulated time — the gating primitive for non-blocking progress
+// engines over the value-encoded (counter) flag protocols.
+func (r *Rank) PeekFlagByte(kind, peer int) byte {
+	_, tile, base := r.mpb(r.id)
+	return r.ctx.PeekLMB(tile, base+FlagByteAt(kind, peer))
+}
+
+// ScratchByteAt returns the offset (within a rank's MPB half) of byte i
+// of the reserved scratch line at the top of the flag area. The vSCC
+// runtime extension uses it for vDMA completion flags.
+func ScratchByteAt(i int) int {
+	if i < 0 || i >= 32 {
+		panic("rcce: scratch byte index out of range")
+	}
+	return PayloadBytes + 5*MaxRanks + i
+}
+
+// ReportTraffic lets protocol extensions attribute delivered messages to
+// the session's traffic observer (used when a scheme bypasses Send).
+func (s *Session) ReportTraffic(src, dest, bytes int) { s.reportTraffic(src, dest, bytes) }

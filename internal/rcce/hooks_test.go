@@ -1,0 +1,194 @@
+package rcce
+
+import (
+	"testing"
+)
+
+func TestMPBOfMatchesPlacement(t *testing.T) {
+	s := newSession(t, 4)
+	err := s.Run(func(r *Rank) {
+		for peer := 0; peer < 4; peer++ {
+			dev, tile, base := r.MPBOf(peer)
+			pl := s.PlaceOf(peer)
+			if dev != pl.Dev || tile != pl.Core/2 {
+				t.Errorf("MPBOf(%d) = (%d,%d,%d), placement %+v", peer, dev, tile, base, pl)
+			}
+			wantBase := 0
+			if pl.Core%2 == 1 {
+				wantBase = 8192
+			}
+			if base != wantBase {
+				t.Errorf("MPBOf(%d) base = %d, want %d", peer, base, wantBase)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalAwaitHandshake(t *testing.T) {
+	s := newSession(t, 2)
+	var order []string
+	err := s.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Ctx().Delay(1000)
+			order = append(order, "signal")
+			r.SignalSent(1)
+			r.AwaitReady(1)
+			order = append(order, "acked")
+		} else {
+			r.AwaitSent(0)
+			order = append(order, "seen")
+			r.SignalReady(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "signal" || order[1] != "seen" || order[2] != "acked" {
+		t.Errorf("handshake order = %v", order)
+	}
+}
+
+func TestPeekAndClearFlags(t *testing.T) {
+	s := newSession(t, 2)
+	err := s.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			if r.PeekSent(1) {
+				t.Error("sent flag raised before any signal")
+			}
+			r.Ctx().Delay(10_000) // let rank 1's signal land
+			if !r.PeekSent(1) {
+				t.Error("sent flag not visible after peer signal")
+			}
+			r.ClearSent(1)
+			if r.PeekSent(1) {
+				t.Error("sent flag survives clear")
+			}
+			if r.PeekReady(1) {
+				t.Error("ready flag raised spuriously")
+			}
+			r.SignalReady(1) // release peer
+		case 1:
+			r.SignalSent(0)
+			r.AwaitReady(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagByteAtDistinctSpaces(t *testing.T) {
+	seen := map[int]bool{}
+	for _, kind := range []int{FlagSent, FlagReady, FlagGrant, FlagDMAC} {
+		for _, peer := range []int{0, 1, 255} {
+			off := FlagByteAt(kind, peer)
+			if off < PayloadBytes || off >= PayloadBytes+5*MaxRanks {
+				t.Errorf("FlagByteAt(%d,%d) = %d outside the flag arrays", kind, peer, off)
+			}
+			if seen[off] {
+				t.Errorf("flag byte collision at offset %d", off)
+			}
+			seen[off] = true
+		}
+	}
+	if ScratchByteAt(0) <= FlagByteAt(FlagDMAC, MaxRanks-1) {
+		t.Error("scratch line overlaps the flag arrays")
+	}
+	if ScratchByteAt(31) >= 8192 {
+		t.Error("scratch line exceeds the MPB half")
+	}
+}
+
+func TestFlagByteAtPanicsOnBadKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad kind did not panic")
+		}
+	}()
+	FlagByteAt(9, 0)
+}
+
+func TestScratchByteAtBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range scratch byte did not panic")
+		}
+	}()
+	ScratchByteAt(32)
+}
+
+func TestPeekFlagByteReadsCounters(t *testing.T) {
+	s := newSession(t, 2)
+	err := s.Run(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Ctx().Delay(10_000)
+			if v := r.PeekFlagByte(FlagGrant, 1); v != 0x5A {
+				t.Errorf("grant byte = %#x, want 0x5A", v)
+			}
+		case 1:
+			// Write a counter value into rank 0's grant slot for us.
+			dev, tile, base := r.MPBOf(0)
+			r.Ctx().WriteMPB(dev, tile, base+FlagByteAt(FlagGrant, 1), []byte{0x5A})
+			r.Ctx().FlushWCB()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvFloats(t *testing.T) {
+	s := newSession(t, 2)
+	want := []float64{3.14159, -2.71828, 0, 1e300}
+	got := make([]float64, len(want))
+	err := s.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			if err := r.SendFloats(1, want); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if err := r.RecvFloats(0, got); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("floats[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	s := newSession(t, 4)
+	var got float64
+	err := s.Run(func(r *Rank) {
+		vec := []float64{float64(10 - r.ID())}
+		if err := r.Reduce(0, OpMin, vec); err != nil {
+			t.Error(err)
+		}
+		if r.ID() == 0 {
+			got = vec[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("min = %v, want 7", got)
+	}
+}
+
+func TestProtocolName(t *testing.T) {
+	if (DefaultProtocol{}).Name() == "" {
+		t.Error("empty protocol name")
+	}
+}

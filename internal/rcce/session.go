@@ -1,0 +1,214 @@
+// Package rcce is a Go port of RCCE, Intel Labs' light-weight
+// communication environment for the SCC research processor, running on
+// the simulated chip of package scc.
+//
+// Like the reference implementation it is layered: a one-sided "gory"
+// interface (Put, Get, flags, MPB allocation) abstracts the hardware, and
+// a two-sided "non-gory" interface (Send, Recv) implements blocking
+// message passing over it with the default local-put/remote-get scheme.
+// Synchronization is flag-based; a core spins only on flags in its own
+// MPB (paper §3.1). Protocols are pluggable so that iRCCE (package
+// ircce) and the vSCC inter-device schemes (package vscc) can replace the
+// wire protocol per rank pair.
+package rcce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vscc/internal/mem"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+)
+
+// MaxRanks bounds a session; the vSCC grid of five devices has 240 cores.
+const MaxRanks = 256
+
+// Flag area layout: each rank's 8 KB MPB half reserves the top
+// 2*MaxRanks bytes for the sent/ready flag arrays, indexed by peer rank.
+const (
+	// flagBytes reserves the sent, ready, barrier, grant and
+	// DMA-completion flag arrays plus one scratch line at the top of
+	// each rank's MPB half.
+	flagBytes = 5*MaxRanks + 32
+	// PayloadBytes is the per-rank MPB space available for message
+	// payload and user allocations — the "MPB" of the paper, 8 KB minus
+	// flags. Messages larger than the communication buffer are split
+	// (the 8 kB throughput drop of Fig. 6b).
+	PayloadBytes = mem.CoreLMBSize - flagBytes
+)
+
+// Place locates a rank on the grid: device index and core id.
+type Place struct {
+	Dev  int
+	Core int
+}
+
+// Session is one RCCE program run: a set of ranks mapped onto cores of
+// one or more devices.
+type Session struct {
+	Kernel *sim.Kernel
+	chips  []*scc.Chip
+	places []Place
+
+	protocol Protocol
+	timeline *sim.Timeline
+
+	// onTraffic, if set, observes every completed point-to-point message
+	// (used to build the paper's Fig. 8 traffic matrix).
+	onTraffic func(src, dest, bytes int)
+
+	// barrier state: a generation counter per rank pair of flag slots.
+	barrierGen []byte
+
+	errs []error
+}
+
+// Option configures a session.
+type Option func(*Session)
+
+// WithProtocol replaces the default blocking local-put/remote-get
+// protocol.
+func WithProtocol(p Protocol) Option { return func(s *Session) { s.protocol = p } }
+
+// WithTimeline records protocol phases for Fig. 2 style diagrams.
+func WithTimeline(t *sim.Timeline) Option { return func(s *Session) { s.timeline = t } }
+
+// WithTrafficObserver registers a callback for every delivered message.
+func WithTrafficObserver(fn func(src, dest, bytes int)) Option {
+	return func(s *Session) { s.onTraffic = fn }
+}
+
+// NewSession creates a session over explicit placements. chips must be
+// indexed by device number and cover every Place.Dev.
+func NewSession(k *sim.Kernel, chips []*scc.Chip, places []Place, opts ...Option) (*Session, error) {
+	if len(places) == 0 {
+		return nil, errors.New("rcce: session with zero ranks")
+	}
+	if len(places) > MaxRanks {
+		return nil, fmt.Errorf("rcce: %d ranks exceeds MaxRanks=%d", len(places), MaxRanks)
+	}
+	seen := map[Place]bool{}
+	for i, pl := range places {
+		if pl.Dev < 0 || pl.Dev >= len(chips) || chips[pl.Dev] == nil {
+			return nil, fmt.Errorf("rcce: rank %d placed on unknown device %d", i, pl.Dev)
+		}
+		if pl.Core < 0 || pl.Core >= scc.NumCores {
+			return nil, fmt.Errorf("rcce: rank %d placed on invalid core %d", i, pl.Core)
+		}
+		if !chips[pl.Dev].Alive(pl.Core) {
+			return nil, fmt.Errorf("rcce: rank %d placed on failed core %d of device %d", i, pl.Core, pl.Dev)
+		}
+		if seen[pl] {
+			return nil, fmt.Errorf("rcce: duplicate placement %+v", pl)
+		}
+		seen[pl] = true
+	}
+	s := &Session{
+		Kernel:     k,
+		chips:      chips,
+		places:     places,
+		barrierGen: make([]byte, len(places)),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.protocol == nil {
+		s.protocol = DefaultProtocol{}
+	}
+	return s, nil
+}
+
+// LinearPlaces builds the default vSCC rank mapping (paper §3): all cores
+// of device 0 in a linear way, continuing on device 1 starting with rank
+// 48, and so on. Failed cores are skipped, reproducing the extended RCCE
+// startup script that writes a configuration file of available cores
+// before the application run (paper §4).
+func LinearPlaces(chips []*scc.Chip, n int) ([]Place, error) {
+	var places []Place
+	for dev, chip := range chips {
+		alive := chip.AliveCores()
+		sort.Ints(alive)
+		for _, core := range alive {
+			places = append(places, Place{Dev: dev, Core: core})
+		}
+	}
+	if n > len(places) {
+		return nil, fmt.Errorf("rcce: requested %d ranks, only %d cores available", n, len(places))
+	}
+	return places[:n], nil
+}
+
+// DescendingPlaces mirrors the RCCE default on a single chip, where
+// ranks map to physical cores sorted in descending id order (paper §3).
+func DescendingPlaces(chip *scc.Chip, n int) ([]Place, error) {
+	alive := chip.AliveCores()
+	sort.Sort(sort.Reverse(sort.IntSlice(alive)))
+	if n > len(alive) {
+		return nil, fmt.Errorf("rcce: requested %d ranks, only %d cores available", n, len(alive))
+	}
+	places := make([]Place, n)
+	for i := 0; i < n; i++ {
+		places[i] = Place{Dev: chip.Index, Core: alive[i]}
+	}
+	return places, nil
+}
+
+// NumRanks returns the session size.
+func (s *Session) NumRanks() int { return len(s.places) }
+
+// PlaceOf returns a rank's placement.
+func (s *Session) PlaceOf(rank int) Place { return s.places[rank] }
+
+// Chip returns the device a rank runs on.
+func (s *Session) Chip(rank int) *scc.Chip { return s.chips[s.places[rank].Dev] }
+
+// Protocol returns the active wire protocol.
+func (s *Session) Protocol() Protocol { return s.protocol }
+
+// Timeline returns the session's timeline (may be nil).
+func (s *Session) Timeline() *sim.Timeline { return s.timeline }
+
+// SameDevice reports whether two ranks share a device.
+func (s *Session) SameDevice(a, b int) bool { return s.places[a].Dev == s.places[b].Dev }
+
+// Launch starts program as rank's process. Most callers use Run instead.
+func (s *Session) Launch(rank int, program func(*Rank)) {
+	pl := s.places[rank]
+	chip := s.chips[pl.Dev]
+	name := fmt.Sprintf("rank%03d(d%d.c%02d)", rank, pl.Dev, pl.Core)
+	chip.Launch(pl.Core, name, func(ctx *scc.Ctx) {
+		r := &Rank{s: s, id: rank, ctx: ctx}
+		r.initMPB()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %v", rank, rec))
+			}
+		}()
+		program(r)
+	})
+}
+
+// Run launches program on every rank (SPMD) and drives the simulation to
+// completion. It returns the first rank error or a kernel error
+// (deadlock, panic).
+func (s *Session) Run(program func(*Rank)) error {
+	for rank := range s.places {
+		s.Launch(rank, program)
+	}
+	if err := s.Kernel.Run(); err != nil {
+		return err
+	}
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	return nil
+}
+
+// reportTraffic notifies the traffic observer of one delivered message.
+func (s *Session) reportTraffic(src, dest, bytes int) {
+	if s.onTraffic != nil {
+		s.onTraffic(src, dest, bytes)
+	}
+}

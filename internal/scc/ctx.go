@@ -1,0 +1,290 @@
+package scc
+
+import (
+	"fmt"
+
+	"vscc/internal/mem"
+	"vscc/internal/sim"
+)
+
+// Ctx binds a core to the simulated process executing on it and exposes
+// the core's instruction-level view of the memory system. All methods
+// charge calibrated cycle costs and move real bytes. Methods must only be
+// called from the process that Launch created.
+type Ctx struct {
+	Core *Core
+	Proc *sim.Proc
+}
+
+// chip returns the owning device.
+func (c *Ctx) chip() *Chip { return c.Core.chip }
+
+// Params returns the chip's timing parameters.
+func (c *Ctx) Params() Params { return c.chip().Params }
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() sim.Cycles { return c.Proc.Now() }
+
+// Device returns the device index this core belongs to.
+func (c *Ctx) Device() int { return c.chip().Index }
+
+// Delay advances simulated time — generic instruction work, expressed
+// at the 533 MHz reference clock and scaled to the tile's current
+// frequency island setting.
+func (c *Ctx) Delay(d sim.Cycles) { c.delayCore(d) }
+
+// delayCore charges core-clocked work, scaled by the tile's frequency
+// divider (power management).
+func (c *Ctx) delayCore(d sim.Cycles) {
+	c.Proc.Delay(c.chip().scaleCost(CoreTile(c.Core.ID), d))
+}
+
+// ComputeFlops charges the time to execute n floating-point operations at
+// the core's peak rate.
+func (c *Ctx) ComputeFlops(n float64) {
+	p := c.chip().Params
+	c.delayCore(sim.Cycles(n / p.FlopsPerCycle))
+}
+
+// CopyPrivate charges the P54C load/store cost of moving n bytes through
+// registers on the private-memory side of a copy loop.
+func (c *Ctx) CopyPrivate(n int) {
+	p := c.chip().Params
+	lines := sim.Cycles((n + mem.LineSize - 1) / mem.LineSize)
+	c.delayCore(lines * p.PrivateCopyCyclesPerLine)
+}
+
+// InvalidateMPB executes CL1INVMB: all MPBT lines leave the L1 in one
+// instruction.
+func (c *Ctx) InvalidateMPB() {
+	c.Core.L1.InvalidateAll()
+	c.delayCore(c.chip().Params.InvalidateCycles)
+}
+
+// ReadMPB reads len(buf) bytes of MPB memory at (dev, tile, off) through
+// the MPBT L1: cached lines are served from L1 — including stale copies,
+// exactly as on hardware — and misses fetch through the mesh or, for a
+// foreign device, through the off-chip port.
+func (c *Ctx) ReadMPB(dev, tile, off int, buf []byte) {
+	chip := c.chip()
+	p := chip.Params
+	n := 0
+	for n < len(buf) {
+		lineBase := (off + n) &^ (mem.LineSize - 1)
+		lineOff := off + n - lineBase
+		chunk := mem.LineSize - lineOff
+		if rem := len(buf) - n; chunk > rem {
+			chunk = rem
+		}
+		key := lineKey(dev, tile, lineBase)
+		if cached, ok := c.Core.L1.Lookup(key); ok {
+			copy(buf[n:n+chunk], cached[lineOff:])
+			c.delayCore(p.L1HitCycles)
+			n += chunk
+			continue
+		}
+		var line [mem.LineSize]byte
+		if dev == chip.Index {
+			cost := p.LocalMPBReadCycles
+			if hops := chip.Mesh.Hops(c.Core.Tile.Coord, TileCoord(tile)); hops > 0 {
+				cost = p.RemoteReadBaseCycles + sim.Cycles(hops)*p.PerHopCycles
+			}
+			c.Proc.Delay(cost)
+			chip.readLMB(tile, lineBase, line[:])
+		} else {
+			chip.offChip().ReadLine(c.Proc, chip.Index, c.Core.ID, dev, tile, lineBase, line[:])
+		}
+		c.Core.L1.Fill(key, line)
+		copy(buf[n:n+chunk], line[lineOff:lineOff+chunk])
+		n += chunk
+	}
+}
+
+// WriteMPB writes data to MPB memory at (dev, tile, off) through the
+// write-combine buffer. Stores are posted: the core is charged the drain
+// cost, not a mesh round trip. Call FlushWCB before signalling a peer.
+func (c *Ctx) WriteMPB(dev, tile, off int, data []byte) {
+	n := 0
+	for n < len(data) {
+		lineBase := (off + n) &^ (mem.LineSize - 1)
+		lineOff := off + n - lineBase
+		chunk := mem.LineSize - lineOff
+		if rem := len(data) - n; chunk > rem {
+			chunk = rem
+		}
+		key := lineKey(dev, tile, lineBase)
+		if drained := c.Core.WCB.Write(key, lineOff, data[n:n+chunk]); drained != nil {
+			c.drain(drained)
+		}
+		c.Proc.Delay(1) // store issue
+		n += chunk
+	}
+}
+
+// FlushWCB drains any pending write-combine line.
+func (c *Ctx) FlushWCB() {
+	if drained := c.Core.WCB.Flush(); drained != nil {
+		c.drain(drained)
+	}
+}
+
+// drain delivers one WCB line to its destination, charging posted-write
+// cost.
+func (c *Ctx) drain(pd *mem.Pending) {
+	chip := c.chip()
+	p := chip.Params
+	if pd.Key&(1<<60) != 0 { // MMIO line
+		dev := int(pd.Key >> 40 & 0xFFFFF)
+		off := int(pd.Key&0xFFFFF) * mem.LineSize
+		chip.offChip().MMIOWriteLine(c.Proc, chip.Index, c.Core.ID, dev, off, pd.Data[:], pd.Mask)
+		return
+	}
+	dev := int(pd.Key >> 40)
+	tile := int(pd.Key >> 20 & 0xFFFFF)
+	lineBase := int(pd.Key&0xFFFFF) * mem.LineSize
+	// Write-through: update our own cached copy if resident.
+	c.applyMasked(func(off int, b []byte) {
+		c.Core.L1.UpdateIfPresent(pd.Key, off, b)
+	}, pd)
+	if dev == chip.Index {
+		cost := p.LocalMPBWriteCycles
+		if hops := chip.Mesh.Hops(c.Core.Tile.Coord, TileCoord(tile)); hops > 0 {
+			cost = p.RemoteWriteBaseCycles + sim.Cycles(hops)*p.PerHopCycles
+		}
+		c.Proc.Delay(cost)
+		c.applyMasked(func(off int, b []byte) {
+			chip.writeLMB(tile, lineBase+off, b)
+		}, pd)
+		return
+	}
+	chip.offChip().WriteLine(c.Proc, chip.Index, c.Core.ID, dev, tile, lineBase, pd.Data[:], pd.Mask)
+}
+
+// applyMasked invokes fn for each contiguous run of valid bytes in a
+// drained line.
+func (c *Ctx) applyMasked(fn func(off int, b []byte), pd *mem.Pending) {
+	i := 0
+	for i < mem.LineSize {
+		if pd.Mask&(1<<uint(i)) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < mem.LineSize && pd.Mask&(1<<uint(j)) != 0 {
+			j++
+		}
+		fn(i, pd.Data[i:j])
+		i = j
+	}
+}
+
+// MMIOWrite stores to a host memory-mapped register through the WCB, so
+// that contiguous registers within one 32 B line fuse into a single
+// off-chip transaction (the paper's vDMA programming trick).
+func (c *Ctx) MMIOWrite(hostDev, off int, data []byte) {
+	n := 0
+	for n < len(data) {
+		lineBase := (off + n) &^ (mem.LineSize - 1)
+		lineOff := off + n - lineBase
+		chunk := mem.LineSize - lineOff
+		if rem := len(data) - n; chunk > rem {
+			chunk = rem
+		}
+		key := mmioKey(hostDev, lineBase)
+		if drained := c.Core.WCB.Write(key, lineOff, data[n:n+chunk]); drained != nil {
+			c.drain(drained)
+		}
+		c.Proc.Delay(1)
+		n += chunk
+	}
+}
+
+// MMIORead reads a host register — uncached, blocking for the full
+// off-chip round trip.
+func (c *Ctx) MMIORead(hostDev, off int, buf []byte) {
+	c.chip().offChip().MMIORead(c.Proc, c.chip().Index, c.Core.ID, hostDev, off, buf)
+}
+
+// TestAndSet performs the atomic test-and-set on a core's register of
+// this device, returning true if acquired. Cross-device T&S is not
+// supported by the architecture.
+func (c *Ctx) TestAndSet(core int) bool {
+	chip := c.chip()
+	p := chip.Params
+	cost := p.TASCycles
+	if hops := chip.Mesh.Hops(c.Core.Tile.Coord, CoreCoord(core)); hops > 0 {
+		cost += 2 * sim.Cycles(hops) * p.PerHopCycles
+	}
+	c.Proc.Delay(cost)
+	return chip.Cores[core].TAS.Set()
+}
+
+// ClearTAS releases a test-and-set register of this device.
+func (c *Ctx) ClearTAS(core int) {
+	chip := c.chip()
+	p := chip.Params
+	cost := p.TASCycles
+	if hops := chip.Mesh.Hops(c.Core.Tile.Coord, CoreCoord(core)); hops > 0 {
+		cost += 2 * sim.Cycles(hops) * p.PerHopCycles
+	}
+	c.Proc.Delay(cost)
+	chip.Cores[core].TAS.Clear()
+}
+
+// WaitFlag blocks until pred is satisfied by the flag byte at (tile, off)
+// in this device's on-chip memory, spinning with invalidate+reload
+// semantics. RCCE spins exclusively on local flags (paper §3.1 footnote),
+// so cross-device flag waiting is rejected.
+func (c *Ctx) WaitFlag(tile, off int, pred func(byte) bool) byte {
+	chip := c.chip()
+	t := chip.Tiles[tile]
+	var b [1]byte
+	for {
+		// Each poll iteration invalidates MPBT state and reloads the
+		// flag, as RCCE's flag loop does.
+		c.Core.L1.InvalidateAll()
+		c.delayCore(chip.Params.FlagPollCycles)
+		chip.readLMB(tile, off, b[:])
+		if pred(b[0]) {
+			return b[0]
+		}
+		t.changed.Wait(c.Proc)
+	}
+}
+
+// PeekLMB reads a byte of this device's on-chip memory without yielding
+// or charging cycles. It exists for runtime-internal gating decisions
+// (non-blocking request progress engines) that must be atomic with a
+// subsequent WaitLMBChange; protocol data paths must use ReadMPB or
+// ReadFlag, which model real costs.
+func (c *Ctx) PeekLMB(tile, off int) byte {
+	var b [1]byte
+	c.chip().readLMB(tile, off, b[:])
+	return b[0]
+}
+
+// WaitLMBChange blocks until any store lands in the given tile's LMB. No
+// simulated time passes between the call and the wakeup; combine with
+// PeekLMB to build race-free wait loops.
+func (c *Ctx) WaitLMBChange(tile int) {
+	c.chip().Tiles[tile].changed.Wait(c.Proc)
+}
+
+// ReadFlag performs a single coherent flag read (invalidate + load).
+func (c *Ctx) ReadFlag(tile, off int) byte {
+	chip := c.chip()
+	c.Core.L1.InvalidateAll()
+	c.delayCore(chip.Params.FlagPollCycles)
+	var b [1]byte
+	chip.readLMB(tile, off, b[:])
+	return b[0]
+}
+
+// offChip returns the device's off-chip port, panicking for a standalone
+// chip.
+func (c *Chip) offChip() OffChipPort {
+	if c.OffChip == nil {
+		panic(fmt.Sprintf("scc: device %d has no off-chip port", c.Index))
+	}
+	return c.OffChip
+}

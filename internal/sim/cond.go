@@ -1,0 +1,169 @@
+package sim
+
+// Cond is a condition variable in simulated time. Processes block on it
+// with Wait; other processes or callbacks wake them with Signal or
+// Broadcast. Wakeups take effect at the current simulated instant and are
+// delivered in FIFO order, preserving determinism.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable owned by kernel k. The name is used
+// in deadlock reports.
+func NewCond(k *Kernel, name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait blocks the calling process until the condition is signalled.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park("cond " + c.name)
+}
+
+// WaitFor blocks the calling process until pred() is true, re-checking
+// after every wakeup. pred is evaluated immediately first, so WaitFor on a
+// satisfied predicate does not yield.
+func (c *Cond) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.unpark()
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.unpark()
+	}
+}
+
+// Waiting reports the number of processes blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Gate is a boolean level-triggered synchronization primitive: processes
+// wait until it is open. Unlike Cond, a Gate that is already open never
+// blocks, which models a flag a core would read without spinning.
+type Gate struct {
+	cond *Cond
+	open bool
+}
+
+// NewGate returns a closed gate.
+func NewGate(k *Kernel, name string) *Gate {
+	return &Gate{cond: NewCond(k, name)}
+}
+
+// Open opens the gate, waking all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.cond.Broadcast()
+}
+
+// Close closes the gate; subsequent Wait calls block.
+func (g *Gate) Close() { g.open = false }
+
+// IsOpen reports whether the gate is open.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait blocks until the gate is open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.cond.Wait(p)
+	}
+}
+
+// Semaphore is a counting semaphore in simulated time.
+type Semaphore struct {
+	cond  *Cond
+	count int
+}
+
+// NewSemaphore returns a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, name string, initial int) *Semaphore {
+	return &Semaphore{cond: NewCond(k, name), count: initial}
+}
+
+// Acquire takes one unit, blocking while the count is zero.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.count == 0 {
+		s.cond.Wait(p)
+	}
+	s.count--
+}
+
+// TryAcquire takes one unit if available and reports whether it did.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns one unit and wakes a waiter.
+func (s *Semaphore) Release() {
+	s.count++
+	s.cond.Signal()
+}
+
+// Count returns the currently available units.
+func (s *Semaphore) Count() int { return s.count }
+
+// Queue is an unbounded FIFO of items exchanged between processes in
+// simulated time — the simulation analogue of a Go channel.
+type Queue[T any] struct {
+	cond  *Cond
+	items []T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any](k *Kernel, name string) *Queue[T] {
+	return &Queue[T]{cond: NewCond(k, name)}
+}
+
+// Push appends an item and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes the oldest item if one is present.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,314 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of processes — goroutines that model simulated
+// agents such as processor cores, host daemon threads or DMA engines.
+// Exactly one process executes at any instant; a process runs until it
+// yields by advancing the simulated clock (Delay), blocking on a Cond, or
+// finishing. Events scheduled for the same cycle are executed in the order
+// they were scheduled, so a simulation run is fully deterministic and
+// repeatable regardless of Go scheduler behaviour.
+//
+// Time is measured in Cycles. The interpretation of a cycle is up to the
+// user; the vSCC model uses core clock cycles of the 533 MHz P54C cores.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Cycles is a point in, or a span of, simulated time.
+type Cycles uint64
+
+// event is a single entry in the kernel's event queue. Exactly one of p or
+// fn is non-nil: p resumes a blocked process, fn runs a callback inline.
+type event struct {
+	at  Cycles
+	seq uint64
+	p   *Proc
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procNew procState = iota
+	procRunnable
+	procRunning
+	procBlocked
+	procDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case procNew:
+		return "new"
+	case procRunnable:
+		return "runnable"
+	case procRunning:
+		return "running"
+	case procBlocked:
+		return "blocked"
+	case procDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now    Cycles
+	seq    uint64
+	queue  eventHeap
+	procs  []*Proc
+	yield  chan struct{} // signalled by the running process when it yields
+	live   int           // processes not yet done
+	panics []error
+
+	// stopped is set by Stop; Run drains no further events once set.
+	stopped bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Cycles { return k.now }
+
+// Stop makes Run return after the currently executing event completes.
+// It may be called from process context or from a callback.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Proc is a simulated process. Methods on Proc must only be called from
+// within the process's own body function.
+type Proc struct {
+	k      *Kernel
+	name   string
+	state  procState
+	resume chan struct{}
+	body   func(*Proc)
+	daemon bool
+
+	// blockReason is a human-readable description of what the process is
+	// waiting for; it appears in deadlock reports.
+	blockReason string
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Cycles { return p.k.now }
+
+// Spawn creates a process and schedules it to start at the current
+// simulated time. It is safe to call before Run and from within process
+// bodies or callbacks.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	return k.SpawnAt(k.now, name, body)
+}
+
+// SpawnAt creates a process that starts at time at (which must not be in
+// the past).
+func (k *Kernel) SpawnAt(at Cycles, name string, body func(*Proc)) *Proc {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%d) in the past (now %d)", at, k.now))
+	}
+	p := &Proc{k: k, name: name, state: procNew, resume: make(chan struct{}), body: body}
+	k.procs = append(k.procs, p)
+	k.live++
+	k.schedule(at, p, nil)
+	return p
+}
+
+// SpawnDaemon creates a service process (for example a device forwarder
+// thread) that is expected to block forever once the real work drains:
+// it does not count toward deadlock detection, and Run returns normally
+// while daemons are still blocked.
+func (k *Kernel) SpawnDaemon(name string, body func(*Proc)) *Proc {
+	p := k.SpawnAt(k.now, name, body)
+	p.daemon = true
+	k.live--
+	return p
+}
+
+// At schedules fn to run as a callback at time at. Callbacks run to
+// completion on the kernel's own goroutine and must not block.
+func (k *Kernel) At(at Cycles, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: At(%d) in the past (now %d)", at, k.now))
+	}
+	k.schedule(at, nil, fn)
+}
+
+// After schedules fn to run d cycles from now.
+func (k *Kernel) After(d Cycles, fn func()) { k.At(k.now+d, fn) }
+
+func (k *Kernel) schedule(at Cycles, p *Proc, fn func()) {
+	k.seq++
+	heap.Push(&k.queue, event{at: at, seq: k.seq, p: p, fn: fn})
+}
+
+// Run executes events until the queue empties, Stop is called, or no
+// runnable work remains. It returns an error if live processes remain
+// blocked when the queue drains (a deadlock) or if a process panicked.
+func (k *Kernel) Run() error {
+	for len(k.queue) > 0 && !k.stopped {
+		e := heap.Pop(&k.queue).(event)
+		if e.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		p := e.p
+		switch p.state {
+		case procDone:
+			continue // stale wakeup for a finished process
+		case procNew:
+			p.state = procRunning
+			go k.runBody(p)
+		case procBlocked, procRunnable:
+			p.state = procRunning
+			p.resume <- struct{}{}
+		default:
+			panic("sim: resuming a process in state " + p.state.String())
+		}
+		<-k.yield
+		if len(k.panics) > 0 {
+			return k.panics[0]
+		}
+	}
+	if k.stopped {
+		return nil
+	}
+	if k.live > 0 {
+		return k.deadlockError()
+	}
+	return nil
+}
+
+// RunFor executes events up to and including time k.Now()+d, then returns.
+// Unlike Run, remaining blocked processes are not treated as a deadlock.
+func (k *Kernel) RunFor(d Cycles) error { return k.RunUntil(k.now + d) }
+
+// RunUntil executes events with timestamps <= t.
+func (k *Kernel) RunUntil(t Cycles) error {
+	for len(k.queue) > 0 && !k.stopped && k.queue[0].at <= t {
+		e := heap.Pop(&k.queue).(event)
+		k.now = e.at
+		if e.fn != nil {
+			e.fn()
+			continue
+		}
+		p := e.p
+		switch p.state {
+		case procDone:
+			continue
+		case procNew:
+			p.state = procRunning
+			go k.runBody(p)
+		case procBlocked, procRunnable:
+			p.state = procRunning
+			p.resume <- struct{}{}
+		default:
+			panic("sim: resuming a process in state " + p.state.String())
+		}
+		<-k.yield
+		if len(k.panics) > 0 {
+			return k.panics[0]
+		}
+	}
+	if k.now < t && !k.stopped {
+		k.now = t
+	}
+	return nil
+}
+
+func (k *Kernel) runBody(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.panics = append(k.panics, fmt.Errorf("sim: process %q panicked: %v", p.name, r))
+		}
+		p.state = procDone
+		if !p.daemon {
+			k.live--
+		}
+		k.yield <- struct{}{}
+	}()
+	p.body(p)
+}
+
+// deadlockError builds a report naming every still-blocked process.
+func (k *Kernel) deadlockError() error {
+	var names []string
+	for _, p := range k.procs {
+		if p.daemon {
+			continue
+		}
+		if p.state == procBlocked || p.state == procNew || p.state == procRunnable {
+			names = append(names, fmt.Sprintf("%s (%s: %s)", p.name, p.state, p.blockReason))
+		}
+	}
+	sort.Strings(names)
+	return fmt.Errorf("sim: deadlock — %d process(es) blocked with empty event queue: %v", len(names), names)
+}
+
+// Delay advances the process by d cycles of simulated time. A Delay of
+// zero yields to other work scheduled at the current instant.
+func (p *Proc) Delay(d Cycles) {
+	k := p.k
+	p.state = procRunnable
+	p.blockReason = "delay"
+	k.schedule(k.now+d, p, nil)
+	k.yield <- struct{}{}
+	<-p.resume
+}
+
+// park blocks the process without scheduling a wakeup; something else must
+// eventually call unpark. reason appears in deadlock reports.
+func (p *Proc) park(reason string) {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// unpark schedules p to resume at the current simulated time. It must be
+// called from kernel context (another process's body or a callback).
+func (p *Proc) unpark() {
+	if p.state != procBlocked {
+		panic("sim: unpark of a process in state " + p.state.String())
+	}
+	p.state = procRunnable
+	p.k.schedule(p.k.now, p, nil)
+}

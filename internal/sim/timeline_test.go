@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineSpansSorted(t *testing.T) {
+	k := NewKernel()
+	tl := NewTimeline(k)
+	tl.Record("b", "put", 10, 20)
+	tl.Record("a", "get", 5, 15)
+	tl.Record("a", "put", 10, 12)
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d, want 3", len(spans))
+	}
+	if spans[0].From != 5 {
+		t.Errorf("first span starts at %d, want 5", spans[0].From)
+	}
+	if spans[1].Actor != "a" || spans[2].Actor != "b" {
+		t.Errorf("same-time spans not ordered by actor: %v", spans)
+	}
+}
+
+func TestTimelineOverlap(t *testing.T) {
+	k := NewKernel()
+	tl := NewTimeline(k)
+	tl.Record("s", "put", 0, 100)
+	tl.Record("r", "get", 50, 150)
+	tl.Record("r", "wait", 200, 300)
+	if !tl.Overlap("put", "get") {
+		t.Error("put/get should overlap")
+	}
+	if tl.Overlap("put", "wait") {
+		t.Error("put/wait should not overlap")
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Record("a", "x", 0, 1) // must not panic
+	tl.Mark("a", "y")
+}
+
+func TestTimelineMarkUsesNow(t *testing.T) {
+	k := NewKernel()
+	tl := NewTimeline(k)
+	k.Spawn("p", func(p *Proc) {
+		p.Delay(77)
+		tl.Mark("p", "event")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spans := tl.Spans()
+	if len(spans) != 1 || spans[0].From != 77 || spans[0].To != 77 {
+		t.Errorf("mark span = %+v, want instant at 77", spans)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	k := NewKernel()
+	tl := NewTimeline(k)
+	tl.Record("sender", "put", 0, 50)
+	tl.Record("receiver", "get", 50, 100)
+	out := tl.Render(40)
+	if !strings.Contains(out, "sender") || !strings.Contains(out, "receiver") {
+		t.Errorf("render missing actors:\n%s", out)
+	}
+	if !strings.Contains(out, "p") || !strings.Contains(out, "g") {
+		t.Errorf("render missing span glyphs:\n%s", out)
+	}
+}
+
+func TestTimelineRenderEmpty(t *testing.T) {
+	k := NewKernel()
+	tl := NewTimeline(k)
+	if out := tl.Render(40); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixRecordAndTotals(t *testing.T) {
+	m := NewMatrix(4, 0)
+	m.Record(0, 1, 100)
+	m.Record(0, 1, 50)
+	m.Record(2, 3, 200)
+	if m.Bytes(0, 1) != 150 {
+		t.Errorf("bytes(0,1) = %d", m.Bytes(0, 1))
+	}
+	if m.Total() != 350 {
+		t.Errorf("total = %d", m.Total())
+	}
+	src, dest, v := m.MaxPair()
+	if src != 2 || dest != 3 || v != 200 {
+		t.Errorf("max pair = %d->%d %d", src, dest, v)
+	}
+}
+
+func TestMatrixIgnoresOutOfRange(t *testing.T) {
+	m := NewMatrix(2, 0)
+	m.Record(-1, 0, 10)
+	m.Record(0, 5, 10)
+	if m.Total() != 0 {
+		t.Error("out-of-range records counted")
+	}
+}
+
+func TestInterDeviceBytes(t *testing.T) {
+	m := NewMatrix(96, 48)
+	m.Record(0, 1, 100)   // same device
+	m.Record(0, 48, 200)  // crosses
+	m.Record(95, 47, 300) // crosses
+	if got := m.InterDeviceBytes(); got != 500 {
+		t.Errorf("inter-device = %d, want 500", got)
+	}
+	if m.Total() != 600 {
+		t.Errorf("total = %d", m.Total())
+	}
+}
+
+func TestNeighborFraction(t *testing.T) {
+	m := NewMatrix(8, 0)
+	m.Record(0, 1, 100)
+	m.Record(7, 0, 100) // ring wrap: distance 1
+	m.Record(0, 4, 100) // distance 4
+	frac := m.NeighborFraction(1)
+	if frac < 0.66 || frac > 0.67 {
+		t.Errorf("fraction = %v, want 2/3", frac)
+	}
+	if m.NeighborFraction(4) != 1 {
+		t.Error("all traffic within distance 4")
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	m := NewMatrix(8, 4)
+	m.Record(0, 1, 1000)
+	m.Record(4, 5, 250)
+	out := m.Render()
+	if !strings.Contains(out, "#") {
+		t.Error("render missing max-intensity glyph")
+	}
+	if !strings.Contains(out, "|") {
+		t.Error("render missing device boundary")
+	}
+	if !strings.Contains(out, "traffic matrix: 8 ranks") {
+		t.Errorf("render header wrong:\n%s", out)
+	}
+}
+
+func TestCSVStableOutput(t *testing.T) {
+	m := NewMatrix(4, 0)
+	m.Record(3, 0, 5)
+	m.Record(1, 2, 7)
+	csv := m.CSV()
+	want := "src,dest,bytes\n1,2,7\n3,0,5\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+// Property: total equals the sum over all cells regardless of record
+// order, and MaxPair is an upper bound for every cell.
+func TestPropertyMatrixConsistency(t *testing.T) {
+	f := func(events []struct {
+		S, D uint8
+		N    uint16
+	}) bool {
+		m := NewMatrix(16, 4)
+		var want uint64
+		for _, e := range events {
+			s, d := int(e.S)%16, int(e.D)%16
+			m.Record(s, d, int(e.N))
+			want += uint64(e.N)
+		}
+		if m.Total() != want {
+			return false
+		}
+		_, _, max := m.MaxPair()
+		for i := 0; i < 16; i++ {
+			for j := 0; j < 16; j++ {
+				if m.Bytes(i, j) > max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

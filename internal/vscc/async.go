@@ -1,0 +1,352 @@
+package vscc
+
+// Asynchronous inter-device communication — the paper's future work
+// ("For future work, we plan to extend our communication concept to
+// accelerate asynchronous communication", §5). AsyncEngine provides
+// non-blocking isend/irecv over the vDMA scheme: the sender puts a chunk,
+// programs the controller and returns to useful work while the host
+// moves the data; progress is cooperative (pushed during Test/Wait), as
+// on the bare-metal SCC.
+//
+// The engine shares the per-pair counter flags with the blocking vDMA
+// protocol, so blocking and asynchronous transfers may alternate on a
+// pair — but must not overlap, exactly like iRCCE and blocking RCCE.
+
+import (
+	"fmt"
+
+	"vscc/internal/host"
+	"vscc/internal/rcce"
+)
+
+// AsyncEngine drives non-blocking cross-device requests for one rank.
+// The session must run the vDMA scheme.
+type AsyncEngine struct {
+	r     *rcce.Rank
+	ip    *interDeviceProtocol
+	sendQ map[int][]*AsyncRequest
+	recvQ map[int][]*AsyncRequest
+}
+
+// NewAsyncEngine creates the engine for rank r. It fails unless the
+// session's wire protocol is a vSCC vDMA configuration.
+func NewAsyncEngine(r *rcce.Rank) (*AsyncEngine, error) {
+	ip, ok := r.Session().Protocol().(*interDeviceProtocol)
+	if !ok || ip.scheme != SchemeVDMA {
+		return nil, fmt.Errorf("vscc: async engine requires the vDMA scheme, session runs %q", r.Session().Protocol().Name())
+	}
+	return &AsyncEngine{
+		r:     r,
+		ip:    ip,
+		sendQ: map[int][]*AsyncRequest{},
+		recvQ: map[int][]*AsyncRequest{},
+	}, nil
+}
+
+// async request states.
+const (
+	asWaitGrant = iota // sender: wait for the receiver's buffer credit
+	asWaitSlot         // sender: wait for the vDMA to release our slot
+	asWaitDrain        // sender: all chunks armed; wait for final drain
+	arWaitData         // receiver: wait for the chunk's notify counter
+	asDone
+)
+
+// AsyncRequest is one outstanding non-blocking vDMA transfer.
+type AsyncRequest struct {
+	eng  *AsyncEngine
+	send bool
+	peer int
+
+	rest     []byte
+	total    int
+	firstSeq uint64
+	lastSeq  uint64
+	seq      uint64 // chunk currently being worked on
+	state    int
+}
+
+// Done reports completion without progressing the request.
+func (q *AsyncRequest) Done() bool { return q.state == asDone }
+
+// Isend starts a non-blocking send to a rank on another device.
+func (e *AsyncEngine) Isend(dest int, data []byte) (*AsyncRequest, error) {
+	if e.r.Session().SameDevice(e.r.ID(), dest) {
+		return nil, fmt.Errorf("vscc: async isend to same-device rank %d; use the iRCCE engine on-chip", dest)
+	}
+	st := e.ip.pair(e.r.ID(), dest)
+	q := &AsyncRequest{eng: e, send: true, peer: dest, rest: data, total: len(data)}
+	if len(data) == 0 {
+		q.state = asDone
+		return q, nil
+	}
+	q.firstSeq = st.out + 1
+	q.lastSeq = st.out + chunksFor(len(data), e.ip.slotBytes())
+	q.seq = q.firstSeq
+	st.out = q.lastSeq
+	q.state = asWaitGrant
+	e.sendQ[dest] = append(e.sendQ[dest], q)
+	e.Push()
+	return q, nil
+}
+
+// Irecv starts a non-blocking receive from a rank on another device.
+func (e *AsyncEngine) Irecv(src int, buf []byte) (*AsyncRequest, error) {
+	if e.r.Session().SameDevice(e.r.ID(), src) {
+		return nil, fmt.Errorf("vscc: async irecv from same-device rank %d; use the iRCCE engine on-chip", src)
+	}
+	st := e.ip.pair(src, e.r.ID())
+	q := &AsyncRequest{eng: e, send: false, peer: src, rest: buf, total: len(buf)}
+	if len(buf) == 0 {
+		q.state = asDone
+		return q, nil
+	}
+	q.firstSeq = st.in + 1
+	q.lastSeq = st.in + chunksFor(len(buf), e.ip.slotBytes())
+	q.seq = q.firstSeq
+	st.in = q.lastSeq
+	q.state = arWaitData
+	// Issue the first grant immediately: the sender cannot move before it.
+	e.publishGrant(q)
+	e.recvQ[src] = append(e.recvQ[src], q)
+	e.Push()
+	return q, nil
+}
+
+// publishGrant posts the receiver's buffer credit for the chunk q.seq
+// (covering one chunk of lookahead, bounded by the message).
+func (e *AsyncEngine) publishGrant(q *AsyncRequest) {
+	grantTo := q.seq + 1
+	if grantTo > q.lastSeq {
+		grantTo = q.lastSeq
+	}
+	srcDev, srcTile, srcBase := e.r.MPBOf(q.peer)
+	ctx := e.r.Ctx()
+	ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagGrant, e.r.ID()), []byte{seqVal(grantTo)})
+	ctx.FlushWCB()
+}
+
+// Push advances every queue head as far as possible without blocking
+// and reports whether anything progressed.
+func (e *AsyncEngine) Push() bool {
+	progressed := false
+	for _, peer := range asyncSortedPeers(e.sendQ) {
+		if e.pushQueue(e.sendQ, peer) {
+			progressed = true
+		}
+	}
+	for _, peer := range asyncSortedPeers(e.recvQ) {
+		if e.pushQueue(e.recvQ, peer) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+func (e *AsyncEngine) pushQueue(m map[int][]*AsyncRequest, peer int) bool {
+	q := m[peer]
+	progressed := false
+	for len(q) > 0 && q[0].push() {
+		progressed = true
+		if q[0].state == asDone {
+			q = q[1:]
+		}
+	}
+	if len(q) > 0 && q[0].state == asDone {
+		q = q[1:]
+		progressed = true
+	}
+	m[peer] = q
+	return progressed
+}
+
+// Test pushes progress once and reports completion.
+func (e *AsyncEngine) Test(q *AsyncRequest) bool {
+	e.Push()
+	return q.state == asDone
+}
+
+// Wait blocks until the request completes, sleeping on local MPB
+// changes between progress rounds.
+func (e *AsyncEngine) Wait(q *AsyncRequest) { e.WaitAll(q) }
+
+// WaitAll blocks until every request completes.
+func (e *AsyncEngine) WaitAll(reqs ...*AsyncRequest) {
+	for {
+		allDone := true
+		for _, q := range reqs {
+			if q.state != asDone {
+				allDone = false
+			}
+		}
+		if allDone {
+			return
+		}
+		if e.Push() {
+			continue
+		}
+		if e.anyActionable() {
+			continue
+		}
+		e.r.WaitAnyLocalChange()
+	}
+}
+
+// Pending reports incomplete requests.
+func (e *AsyncEngine) Pending() int {
+	n := 0
+	for _, q := range e.sendQ {
+		n += len(q)
+	}
+	for _, q := range e.recvQ {
+		n += len(q)
+	}
+	return n
+}
+
+// anyActionable peeks all stalled heads without yielding, closing the
+// race between the last poll and sleeping.
+func (e *AsyncEngine) anyActionable() bool {
+	for _, peer := range asyncSortedPeers(e.sendQ) {
+		if e.sendQ[peer][0].flagReady() {
+			return true
+		}
+	}
+	for _, peer := range asyncSortedPeers(e.recvQ) {
+		if e.recvQ[peer][0].flagReady() {
+			return true
+		}
+	}
+	return false
+}
+
+// flagReady peeks whether the request's current wait condition holds.
+func (q *AsyncRequest) flagReady() bool {
+	r := q.eng.r
+	switch q.state {
+	case asWaitGrant:
+		b := r.PeekFlagByte(rcce.FlagGrant, q.peer)
+		return b == seqVal(q.seq) || b == seqVal(q.seq+1)
+	case asWaitSlot:
+		b := r.PeekFlagByte(rcce.FlagDMAC, q.peer)
+		return b == seqVal(q.seq-2) || b == seqVal(q.seq-1)
+	case asWaitDrain:
+		return r.PeekFlagByte(rcce.FlagReady, q.peer) == seqVal(q.lastSeq)
+	case arWaitData:
+		b := r.PeekFlagByte(rcce.FlagSent, q.peer)
+		return b == seqVal(q.seq) || b == seqVal(q.seq+1)
+	}
+	return false
+}
+
+// push advances the request while its conditions hold; returns whether
+// any step was taken.
+func (q *AsyncRequest) push() bool {
+	progressed := false
+	for q.state != asDone && q.flagReady() {
+		q.step()
+		progressed = true
+	}
+	return progressed
+}
+
+// step performs one state transition (the flag condition holds).
+func (q *AsyncRequest) step() {
+	e := q.eng
+	r := e.r
+	ctx := r.Ctx()
+	ip := e.ip
+	slotSize := ip.slotBytes()
+	switch {
+	case q.send && q.state == asWaitGrant:
+		if q.seq-q.firstSeq >= 2 {
+			q.state = asWaitSlot
+			return
+		}
+		q.armChunk()
+	case q.send && q.state == asWaitSlot:
+		q.armChunk()
+	case q.send && q.state == asWaitDrain:
+		ctx.Delay(ctx.Params().FlagPollCycles)
+		r.Session().ReportTraffic(r.ID(), q.peer, q.total)
+		q.state = asDone
+	case !q.send:
+		// Drain the chunk from our local slot.
+		ctx.Delay(ctx.Params().FlagPollCycles)
+		n := len(q.rest)
+		if n > slotSize {
+			n = slotSize
+		}
+		myDev, myTile, myBase := r.MPBOf(r.ID())
+		slot := int((q.seq - 1) % 2 * uint64(slotSize))
+		ctx.InvalidateMPB()
+		ctx.ReadMPB(myDev, myTile, myBase+slot, q.rest[:n])
+		ctx.CopyPrivate(n)
+		srcDev, srcTile, srcBase := r.MPBOf(q.peer)
+		ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagReady, r.ID()), []byte{seqVal(q.seq)})
+		ctx.FlushWCB()
+		q.rest = q.rest[n:]
+		if len(q.rest) == 0 {
+			q.state = asDone
+			return
+		}
+		q.seq++
+		q.publishNextGrant()
+	}
+}
+
+// armChunk puts the current chunk into the local slot and programs the
+// vDMA controller, then advances to the next chunk or the drain wait.
+func (q *AsyncRequest) armChunk() {
+	e := q.eng
+	r := e.r
+	ctx := r.Ctx()
+	ip := e.ip
+	slotSize := ip.slotBytes()
+	ctx.Delay(ctx.Params().FlagPollCycles)
+	n := len(q.rest)
+	if n > slotSize {
+		n = slotSize
+	}
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	dstDev, dstTile, dstBase := r.MPBOf(q.peer)
+	slot := int((q.seq - 1) % 2 * uint64(slotSize))
+	ctx.CopyPrivate(n)
+	ctx.WriteMPB(myDev, myTile, myBase+slot, q.rest[:n])
+	ctx.FlushWCB()
+	ip.mmio(r, host.BankCommand{
+		Cmd:    host.CmdCopy,
+		DstDev: dstDev, DstTile: dstTile, DstOff: dstBase + slot,
+		SrcOff: myBase + slot, Count: n,
+		Flags:     host.FlagNotifyDest | host.FlagCompletion,
+		NotifyOff: dstBase + rcce.FlagByteAt(rcce.FlagSent, r.ID()), NotifyVal: seqVal(q.seq),
+		ComplOff: myBase + rcce.FlagByteAt(rcce.FlagDMAC, q.peer), ComplVal: seqVal(q.seq),
+	})
+	q.rest = q.rest[n:]
+	if len(q.rest) == 0 {
+		q.state = asWaitDrain
+		return
+	}
+	q.seq++
+	q.state = asWaitGrant
+}
+
+// publishNextGrant posts the credit for the receiver's next chunk.
+func (q *AsyncRequest) publishNextGrant() {
+	q.eng.publishGrant(q)
+}
+
+func asyncSortedPeers(m map[int][]*AsyncRequest) []int {
+	peers := make([]int, 0, len(m))
+	for p, q := range m {
+		if len(q) > 0 {
+			peers = append(peers, p)
+		}
+	}
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j-1] > peers[j]; j-- {
+			peers[j-1], peers[j] = peers[j], peers[j-1]
+		}
+	}
+	return peers
+}

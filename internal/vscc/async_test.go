@@ -1,0 +1,264 @@
+package vscc
+
+import (
+	"bytes"
+	"testing"
+
+	"vscc/internal/rcce"
+	"vscc/internal/sim"
+)
+
+func TestAsyncRequiresVDMAScheme(t *testing.T) {
+	sys := newSystem(t, 2, SchemeCachedGet)
+	session, err := sys.NewSession(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = session.Run(func(r *rcce.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		if _, err := NewAsyncEngine(r); err == nil {
+			t.Error("async engine accepted a non-vDMA session")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncSendRecvIntegrity(t *testing.T) {
+	for _, size := range []int{1, 100, 3424, 3425, 10000, 40000} {
+		size := size
+		sys := newSystem(t, 2, SchemeVDMA)
+		session, err := sys.NewSession(96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := pattern(size, byte(size))
+		got := make([]byte, size)
+		err = session.Run(func(r *rcce.Rank) {
+			switch r.ID() {
+			case 0:
+				eng, err := NewAsyncEngine(r)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				q, err := eng.Isend(48, msg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				eng.Wait(q)
+			case 48:
+				eng, err := NewAsyncEngine(r)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				q, err := eng.Irecv(0, got)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				eng.Wait(q)
+			}
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d corrupted", size)
+		}
+	}
+}
+
+func TestAsyncOverlapsComputeWithTransfer(t *testing.T) {
+	// The point of the future-work extension: the sender's compute and
+	// the host's DMA overlap, so compute+transfer costs ~max, not ~sum.
+	const size = 60000
+	const computeCycles = 3_000_000
+	run := func(async bool) sim.Cycles {
+		sys := newSystem(t, 2, SchemeVDMA)
+		session, err := sys.NewSession(96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done sim.Cycles
+		err = session.Run(func(r *rcce.Rank) {
+			msg := pattern(size, 1)
+			switch r.ID() {
+			case 0:
+				if async {
+					eng, _ := NewAsyncEngine(r)
+					q, err := eng.Isend(48, msg)
+					if err != nil {
+						panic(err)
+					}
+					// Useful work while the host moves the data; poke
+					// progress between compute blocks as iRCCE would.
+					for i := 0; i < 10; i++ {
+						r.Ctx().Delay(computeCycles / 10)
+						eng.Push()
+					}
+					eng.Wait(q)
+				} else {
+					r.Send(48, msg)
+					r.Ctx().Delay(computeCycles)
+				}
+				done = r.Now()
+			case 48:
+				r.Recv(0, make([]byte, size))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	blocking := run(false)
+	async := run(true)
+	if async >= blocking {
+		t.Errorf("async (%d cycles) should beat blocking send+compute (%d)", async, blocking)
+	}
+	// The overlap should hide a substantial part of the transfer.
+	saved := float64(blocking-async) / float64(blocking)
+	if saved < 0.15 {
+		t.Errorf("async saved only %.1f%% — no real overlap", 100*saved)
+	}
+}
+
+func TestAsyncBidirectionalExchange(t *testing.T) {
+	const size = 20000
+	sys := newSystem(t, 2, SchemeVDMA)
+	session, err := sys.NewSession(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]byte{0: make([]byte, size), 48: make([]byte, size)}
+	err = session.Run(func(r *rcce.Rank) {
+		me := r.ID()
+		if me != 0 && me != 48 {
+			return
+		}
+		peer := 48 - me
+		eng, err := NewAsyncEngine(r)
+		if err != nil {
+			panic(err)
+		}
+		sq, err := eng.Isend(peer, pattern(size, byte(me+1)))
+		if err != nil {
+			panic(err)
+		}
+		rq, err := eng.Irecv(peer, got[me])
+		if err != nil {
+			panic(err)
+		}
+		eng.WaitAll(sq, rq)
+		if eng.Pending() != 0 {
+			t.Errorf("rank %d: %d requests pending after WaitAll", me, eng.Pending())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], pattern(size, byte(49))) || !bytes.Equal(got[48], pattern(size, byte(1))) {
+		t.Error("bidirectional async exchange corrupted")
+	}
+}
+
+func TestAsyncInteropWithBlockingPeer(t *testing.T) {
+	// One side async, the other blocking: the wire protocol is shared.
+	const size = 12000
+	sys := newSystem(t, 2, SchemeVDMA)
+	session, err := sys.NewSession(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, size)
+	err = session.Run(func(r *rcce.Rank) {
+		switch r.ID() {
+		case 0:
+			eng, _ := NewAsyncEngine(r)
+			q, err := eng.Isend(48, pattern(size, 7))
+			if err != nil {
+				panic(err)
+			}
+			eng.Wait(q)
+		case 48:
+			r.Recv(0, got) // blocking receive
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pattern(size, 7)) {
+		t.Error("async->blocking interop corrupted")
+	}
+}
+
+func TestAsyncSequenceOfMessages(t *testing.T) {
+	sys := newSystem(t, 2, SchemeVDMA)
+	session, err := sys.NewSession(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 8
+	err = session.Run(func(r *rcce.Rank) {
+		switch r.ID() {
+		case 0:
+			eng, _ := NewAsyncEngine(r)
+			for i := 0; i < rounds; i++ {
+				q, err := eng.Isend(48, pattern(5000, byte(i)))
+				if err != nil {
+					panic(err)
+				}
+				eng.Wait(q)
+			}
+		case 48:
+			eng, _ := NewAsyncEngine(r)
+			for i := 0; i < rounds; i++ {
+				got := make([]byte, 5000)
+				q, err := eng.Irecv(0, got)
+				if err != nil {
+					panic(err)
+				}
+				eng.Wait(q)
+				if !bytes.Equal(got, pattern(5000, byte(i))) {
+					t.Errorf("round %d corrupted", i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncZeroLengthAndSameDevice(t *testing.T) {
+	sys := newSystem(t, 2, SchemeVDMA)
+	session, err := sys.NewSession(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = session.Run(func(r *rcce.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		eng, _ := NewAsyncEngine(r)
+		q, err := eng.Isend(48, nil)
+		if err != nil || !q.Done() {
+			t.Errorf("zero-length isend: %v, done=%v", err, q.Done())
+		}
+		if _, err := eng.Isend(1, []byte{1}); err == nil {
+			t.Error("same-device async isend accepted")
+		}
+		if _, err := eng.Irecv(1, make([]byte, 1)); err == nil {
+			t.Error("same-device async irecv accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package vscc
+
+// Topology-aware placement — the paper's §4.2 observation: "applications
+// should prefer connections with high throughput for communication",
+// but the default linear rank extension has no topology awareness. For
+// BT's multi-partition q x q process grid, RowAlignedPlaces assigns
+// whole process-grid rows to devices (padding devices with unused cores
+// rather than straddling a row), so every x-direction neighbour pair —
+// the heaviest traffic band of Fig. 8 — stays on one device.
+
+import (
+	"fmt"
+
+	"vscc/internal/rcce"
+)
+
+// RowAlignedPlaces maps a q x q process grid (ranks = q*q, rank = pi +
+// pj*q) onto the system so that no grid row straddles a device
+// boundary. It falls back to an error when the devices cannot hold the
+// rows even with padding.
+func (s *System) RowAlignedPlaces(q int) ([]rcce.Place, error) {
+	ranks := q * q
+	rowsPerDevice := 48 / q // whole rows that fit one device
+	if rowsPerDevice == 0 {
+		return nil, fmt.Errorf("vscc: a %d-rank row does not fit one device", q)
+	}
+	devicesNeeded := (q + rowsPerDevice - 1) / rowsPerDevice
+	if devicesNeeded > len(s.Chips) {
+		return nil, fmt.Errorf("vscc: row-aligned placement of %d ranks needs %d devices, have %d",
+			ranks, devicesNeeded, len(s.Chips))
+	}
+	places := make([]rcce.Place, ranks)
+	for pj := 0; pj < q; pj++ {
+		dev := pj / rowsPerDevice
+		rowInDev := pj % rowsPerDevice
+		alive := s.Chips[dev].AliveCores()
+		if len(alive) < rowsPerDevice*q {
+			return nil, fmt.Errorf("vscc: device %d has %d cores alive, row-aligned placement needs %d",
+				dev, len(alive), rowsPerDevice*q)
+		}
+		for pi := 0; pi < q; pi++ {
+			places[pi+pj*q] = rcce.Place{Dev: dev, Core: alive[rowInDev*q+pi]}
+		}
+	}
+	return places, nil
+}
+
+// CrossDevicePairs counts how many of the given neighbour relations
+// (rank pairs) cross a device boundary under a placement — the metric a
+// placement strategy minimizes.
+func CrossDevicePairs(places []rcce.Place, pairs [][2]int) int {
+	n := 0
+	for _, p := range pairs {
+		if places[p[0]].Dev != places[p[1]].Dev {
+			n++
+		}
+	}
+	return n
+}
+
+// GridNeighborPairs enumerates the neighbour relations of a q x q
+// multi-partition grid: the x (±1 with row wrap), y (±q) and z (±(q+1))
+// rings of Fig. 8.
+func GridNeighborPairs(q int) [][2]int {
+	var pairs [][2]int
+	ranks := q * q
+	for r := 0; r < ranks; r++ {
+		pi, pj := r%q, r/q
+		add := func(qi, qj int) {
+			peer := ((qi+q)%q + ((qj+q)%q)*q)
+			pairs = append(pairs, [2]int{r, peer})
+		}
+		add(pi+1, pj)   // +x ring
+		add(pi, pj+1)   // +y ring
+		add(pi-1, pj-1) // +z ring
+	}
+	return pairs
+}

@@ -1,0 +1,497 @@
+package vscc
+
+import (
+	"fmt"
+
+	"vscc/internal/host"
+	"vscc/internal/mem"
+	"vscc/internal/rcce"
+)
+
+// pairKey identifies an ordered (sender, receiver) rank pair.
+type pairKey struct{ src, dst int }
+
+// pairSeq carries the persistent chunk counters of one pair (the vDMA
+// scheme uses value-encoded flags, never cleared, so no reset races
+// exist across messages).
+type pairSeq struct {
+	out uint64 // chunks the sender issued
+	in  uint64 // chunks the receiver drained
+}
+
+// seqVal encodes a chunk sequence number as a non-zero flag byte.
+func seqVal(s uint64) byte { return byte((s-1)%255) + 1 }
+
+// interDeviceProtocol is the session wire protocol of a vSCC: same-device
+// pairs use the base (on-chip) protocol, cross-device pairs the
+// configured host-accelerated scheme.
+type interDeviceProtocol struct {
+	sys       *System
+	base      rcce.Protocol
+	scheme    Scheme
+	threshold int
+	seq       map[pairKey]*pairSeq
+	// slot overrides the vDMA double-buffer slot size (ablation knob;
+	// 0 = vdmaHalf). At most half the payload area.
+	slot int
+	// published tracks, per sender rank, how many bytes of its MPB the
+	// host cache currently mirrors; the sender invalidates that range
+	// before every reuse (§3.1's explicit consistency control).
+	published map[int]int
+}
+
+// Name implements rcce.Protocol.
+func (ip *interDeviceProtocol) Name() string {
+	return fmt.Sprintf("vscc(%s, on-chip %s)", ip.scheme, ip.base.Name())
+}
+
+func (ip *interDeviceProtocol) pair(src, dst int) *pairSeq {
+	k := pairKey{src, dst}
+	s, ok := ip.seq[k]
+	if !ok {
+		s = &pairSeq{}
+		ip.seq[k] = s
+	}
+	return s
+}
+
+// Send implements rcce.Protocol.
+func (ip *interDeviceProtocol) Send(r *rcce.Rank, dest int, data []byte) {
+	if r.Session().SameDevice(r.ID(), dest) {
+		ip.base.Send(r, dest, data)
+		return
+	}
+	if len(data) == 0 {
+		return
+	}
+	if ip.threshold > 0 && len(data) <= ip.threshold {
+		ip.directSend(r, dest, data)
+		return
+	}
+	switch ip.scheme {
+	case SchemeRouting:
+		// The default RCCE protocol over the (slow) transparent path.
+		rcce.DefaultProtocol{}.Send(r, dest, data)
+	case SchemeHostRouted, SchemeHWAccel, SchemeRemotePut:
+		// Remote put; under SchemeHostRouted every line write stalls for
+		// a host round trip (the lower black curve of Fig. 6b), under
+		// SchemeHWAccel the FPGA acks it (upper curve), and under
+		// SchemeRemotePut the host write-combining buffer absorbs it.
+		ip.remotePutSend(r, dest, data)
+	case SchemeCachedGet:
+		ip.cachedSend(r, dest, data)
+	case SchemeVDMA:
+		ip.vdmaSend(r, dest, data)
+	}
+}
+
+// Recv implements rcce.Protocol.
+func (ip *interDeviceProtocol) Recv(r *rcce.Rank, src int, buf []byte) {
+	if r.Session().SameDevice(r.ID(), src) {
+		ip.base.Recv(r, src, buf)
+		return
+	}
+	if len(buf) == 0 {
+		return
+	}
+	if ip.threshold > 0 && len(buf) <= ip.threshold {
+		ip.directRecv(r, src, buf)
+		return
+	}
+	switch ip.scheme {
+	case SchemeRouting:
+		rcce.DefaultProtocol{}.Recv(r, src, buf)
+	case SchemeHostRouted, SchemeHWAccel, SchemeRemotePut:
+		ip.remotePutRecv(r, src, buf)
+	case SchemeCachedGet:
+		ip.cachedRecv(r, src, buf)
+	case SchemeVDMA:
+		ip.vdmaRecv(r, src, buf)
+	}
+}
+
+// --- direct small-message path ------------------------------------------
+
+// directSend transfers a small message without engaging the host
+// machinery: once the receiver grants its buffer, the payload is written
+// straight into the receiver's MPB, followed by the flag (§3.3: "to
+// recover low latency for small messages we have defined a threshold for
+// a core to directly transfer data"). Under the vDMA scheme the
+// handshake reuses the scheme's value-encoded counters (a one-chunk
+// message), so mixing direct and DMA transfers on one pair stays
+// consistent; the other schemes use the clear-based flags throughout.
+func (ip *interDeviceProtocol) directSend(r *rcce.Rank, dest int, data []byte) {
+	switch ip.scheme {
+	case SchemeVDMA:
+		ip.vdmaDirectSend(r, dest, data)
+		return
+	case SchemeCachedGet:
+		// Local-put direct: skip the update/invalidate commands — for a
+		// line or two, the receiver's transparent read beats warming the
+		// host cache.
+		ip.cachedDirectSend(r, dest, data)
+		return
+	}
+	ctx := r.Ctx()
+	dev, tile, base := r.MPBOf(dest)
+	r.AwaitReady(dest) // buffer grant
+	ctx.CopyPrivate(len(data))
+	ctx.WriteMPB(dev, tile, base, data)
+	ctx.FlushWCB()
+	r.SignalSent(dest)
+	r.AwaitReady(dest)
+}
+
+func (ip *interDeviceProtocol) directRecv(r *rcce.Rank, src int, buf []byte) {
+	switch ip.scheme {
+	case SchemeVDMA:
+		ip.vdmaDirectRecv(r, src, buf)
+		return
+	case SchemeCachedGet:
+		ip.cachedDirectRecv(r, src, buf)
+		return
+	}
+	ctx := r.Ctx()
+	dev, tile, base := r.MPBOf(r.ID())
+	r.SignalReady(src) // grant
+	r.AwaitSent(src)
+	ctx.InvalidateMPB()
+	ctx.ReadMPB(dev, tile, base, buf)
+	ctx.CopyPrivate(len(buf))
+	r.SignalReady(src)
+}
+
+// cachedDirectSend/-Recv: the cached scheme's sub-threshold variant —
+// the usual local-put handshake without engaging the host cache. The
+// sender must still invalidate any previously published host copy, or
+// the receiver's reads could be served stale data from the cache.
+func (ip *interDeviceProtocol) cachedDirectSend(r *rcce.Rank, dest int, data []byte) {
+	ctx := r.Ctx()
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	if prev := ip.published[r.ID()]; prev > 0 {
+		ip.mmio(r, host.BankCommand{Cmd: host.CmdInvalidate, SrcOff: myBase, Count: prev})
+		ip.published[r.ID()] = 0
+	}
+	ctx.CopyPrivate(len(data))
+	ctx.WriteMPB(myDev, myTile, myBase, data)
+	ctx.FlushWCB()
+	r.SignalSent(dest)
+	r.AwaitReady(dest)
+}
+
+func (ip *interDeviceProtocol) cachedDirectRecv(r *rcce.Rank, src int, buf []byte) {
+	ctx := r.Ctx()
+	srcDev, srcTile, srcBase := r.MPBOf(src)
+	r.AwaitSent(src)
+	ctx.InvalidateMPB()
+	ctx.ReadMPB(srcDev, srcTile, srcBase, buf)
+	ctx.CopyPrivate(len(buf))
+	r.SignalReady(src)
+}
+
+// vdmaDirectSend is the sub-threshold path of the vDMA scheme: the same
+// counter flow as a one-chunk DMA transfer, but the core writes the
+// payload itself instead of programming the controller.
+func (ip *interDeviceProtocol) vdmaDirectSend(r *rcce.Rank, dest int, data []byte) {
+	ctx := r.Ctx()
+	st := ip.pair(r.ID(), dest)
+	_, myTile, myBase := r.MPBOf(r.ID())
+	dstDev, dstTile, dstBase := r.MPBOf(dest)
+	st.out++
+	seq := st.out
+	grantOff := myBase + rcce.FlagByteAt(rcce.FlagGrant, dest)
+	glo, ghi := seqVal(seq), seqVal(seq+1)
+	ctx.WaitFlag(myTile, grantOff, func(b byte) bool { return b == glo || b == ghi })
+	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
+	ctx.CopyPrivate(len(data))
+	ctx.WriteMPB(dstDev, dstTile, dstBase+slot, data)
+	ctx.FlushWCB()
+	// Raise the sent counter directly (flag write, fenced behind data).
+	ctx.WriteMPB(dstDev, dstTile, dstBase+rcce.FlagByteAt(rcce.FlagSent, r.ID()), []byte{seqVal(seq)})
+	ctx.FlushWCB()
+	readyOff := myBase + rcce.FlagByteAt(rcce.FlagReady, dest)
+	final := seqVal(seq)
+	ctx.WaitFlag(myTile, readyOff, func(b byte) bool { return b == final })
+}
+
+func (ip *interDeviceProtocol) vdmaDirectRecv(r *rcce.Rank, src int, buf []byte) {
+	ctx := r.Ctx()
+	st := ip.pair(src, r.ID())
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	srcDev, srcTile, srcBase := r.MPBOf(src)
+	st.in++
+	seq := st.in
+	ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagGrant, r.ID()), []byte{seqVal(seq)})
+	ctx.FlushWCB()
+	sentOff := myBase + rcce.FlagByteAt(rcce.FlagSent, src)
+	lo, hi := seqVal(seq), seqVal(seq+1)
+	ctx.WaitFlag(myTile, sentOff, func(b byte) bool { return b == lo || b == hi })
+	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
+	ctx.InvalidateMPB()
+	ctx.ReadMPB(myDev, myTile, myBase+slot, buf)
+	ctx.CopyPrivate(len(buf))
+	ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagReady, r.ID()), []byte{seqVal(seq)})
+	ctx.FlushWCB()
+}
+
+// --- remote put (Fig. 4c; also the hardware-accelerated upper bound) ---
+
+// remotePutSend streams chunks directly into the receiver's MPB. Under
+// SchemeRemotePut the host write-combining buffer absorbs the posted
+// lines and flushes bursts; under SchemeHWAccel the FPGA acks them.
+// The receiver's communication buffer is shared by every potential
+// sender, so each chunk is granted by the receiver (ready flag raised at
+// the start of the matching receive) before the sender may write it.
+func (ip *interDeviceProtocol) remotePutSend(r *rcce.Rank, dest int, data []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	dev, tile, base := r.MPBOf(dest)
+	for len(data) > 0 {
+		n := len(data)
+		if n > rcce.ChunkBytes {
+			n = rcce.ChunkBytes
+		}
+		t0 := r.Now()
+		r.AwaitReady(dest) // buffer grant
+		tl.Record("sender", "waitgrant", t0, r.Now())
+		t0 = r.Now()
+		ctx.CopyPrivate(n)
+		ctx.WriteMPB(dev, tile, base, data[:n])
+		ctx.FlushWCB()
+		tl.Record("sender", "remoteput", t0, r.Now())
+		r.SignalSent(dest)
+		data = data[n:]
+	}
+	t0 := r.Now()
+	r.AwaitReady(dest) // final drain acknowledgement
+	tl.Record("sender", "waitack", t0, r.Now())
+}
+
+func (ip *interDeviceProtocol) remotePutRecv(r *rcce.Rank, src int, buf []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	dev, tile, base := r.MPBOf(r.ID())
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > rcce.ChunkBytes {
+			n = rcce.ChunkBytes
+		}
+		r.SignalReady(src) // grant the buffer to this sender
+		t0 := r.Now()
+		r.AwaitSent(src)
+		tl.Record("receiver", "waitdata", t0, r.Now())
+		t0 = r.Now()
+		ctx.InvalidateMPB()
+		ctx.ReadMPB(dev, tile, base, buf[:n])
+		ctx.CopyPrivate(n)
+		tl.Record("receiver", "localget", t0, r.Now())
+		buf = buf[n:]
+	}
+	r.SignalReady(src) // all chunks drained
+}
+
+// --- local put / remote get with the software cache (Fig. 4b) ----------
+
+// cachedSend performs the paper's optimized default scheme: local put,
+// then an update command telling the communication task where the
+// message lies, so it can prefetch the MPB into its cache and answer the
+// receiver's remote reads; before reusing the buffer, the sender
+// explicitly invalidates the outdated host copy (§3.1).
+func (ip *interDeviceProtocol) cachedSend(r *rcce.Rank, dest int, data []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	first := true
+	for len(data) > 0 {
+		n := len(data)
+		if n > rcce.ChunkBytes {
+			n = rcce.ChunkBytes
+		}
+		if !first {
+			r.AwaitReady(dest)
+		}
+		first = false
+		// Invalidate whatever the host cache still mirrors of this MPB —
+		// from the previous chunk or a previous message — before
+		// overwriting it.
+		if prev := ip.published[r.ID()]; prev > 0 {
+			ip.mmio(r, host.BankCommand{Cmd: host.CmdInvalidate, SrcOff: myBase, Count: prev})
+		}
+		t0 := r.Now()
+		ctx.CopyPrivate(n)
+		ctx.WriteMPB(myDev, myTile, myBase, data[:n])
+		ctx.FlushWCB()
+		tl.Record("sender", "put", t0, r.Now())
+		ip.mmio(r, host.BankCommand{Cmd: host.CmdUpdate, SrcOff: myBase, Count: n})
+		ip.published[r.ID()] = n
+		r.SignalSent(dest)
+		data = data[n:]
+	}
+	t0 := r.Now()
+	r.AwaitReady(dest)
+	tl.Record("sender", "waitack", t0, r.Now())
+}
+
+func (ip *interDeviceProtocol) cachedRecv(r *rcce.Rank, src int, buf []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	srcDev, srcTile, srcBase := r.MPBOf(src)
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > rcce.ChunkBytes {
+			n = rcce.ChunkBytes
+		}
+		t0 := r.Now()
+		r.AwaitSent(src)
+		tl.Record("receiver", "waitdata", t0, r.Now())
+		t0 = r.Now()
+		ctx.InvalidateMPB()
+		ctx.ReadMPB(srcDev, srcTile, srcBase, buf[:n]) // served by cache + SIF stream
+		ctx.CopyPrivate(n)
+		tl.Record("receiver", "remoteget", t0, r.Now())
+		r.SignalReady(src)
+		buf = buf[n:]
+	}
+}
+
+// mmio posts one fused register-bank write to the host.
+func (ip *interDeviceProtocol) mmio(r *rcce.Rank, cmd host.BankCommand) {
+	ctx := r.Ctx()
+	pl := r.Session().PlaceOf(r.ID())
+	bank := host.EncodeBank(cmd)
+	ctx.MMIOWrite(pl.Dev, pl.Core*host.BankBytes, bank[:])
+	ctx.FlushWCB()
+}
+
+// --- local put / local get through the vDMA controller (Fig. 4a/5) -----
+
+// vdmaHalf is the double-buffer slot size: both MPBs split into two
+// halves so the sender's put, the host copy, and the receiver's get
+// pipeline — the optimization that removes the 8 kB throughput drop
+// (§4.1).
+var vdmaHalf = (rcce.PayloadBytes / 2) &^ (mem.LineSize - 1)
+
+// chunksFor returns the chunk count of a message under a slot size.
+func chunksFor(n, slot int) uint64 {
+	return uint64((n + slot - 1) / slot)
+}
+
+// slotBytes returns the configured vDMA slot size.
+func (ip *interDeviceProtocol) slotBytes() int {
+	if ip.slot > 0 {
+		return ip.slot
+	}
+	return vdmaHalf
+}
+
+// vdmaSend is the new local-access scheme: sender and receiver only
+// touch their own on-chip memory while the communication task acts as a
+// virtual DMA controller between the two MPBs. Flow control is
+// value-encoded and per pair:
+//
+//   - grant[sender] at the sender carries the highest chunk the receiver
+//     has granted; grants never span messages, so the shared receive
+//     slots are handed to one sender at a time;
+//   - ready[receiver] at the sender carries the drained count (the
+//     blocking-send completion condition);
+//   - dmac[dest] at the sender carries the vDMA read-completion count,
+//     guarding the sender's own slot reuse.
+func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	st := ip.pair(r.ID(), dest)
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	dstDev, dstTile, dstBase := r.MPBOf(dest)
+	grantOff := myBase + rcce.FlagByteAt(rcce.FlagGrant, dest)
+	readyOff := myBase + rcce.FlagByteAt(rcce.FlagReady, dest)
+	dmacOff := myBase + rcce.FlagByteAt(rcce.FlagDMAC, dest)
+	slotSize := ip.slotBytes()
+	firstSeq := st.out + 1
+	lastSeq := st.out + chunksFor(len(data), slotSize)
+	for len(data) > 0 {
+		n := len(data)
+		if n > slotSize {
+			n = slotSize
+		}
+		st.out++
+		seq := st.out
+		// Receiver grant for this chunk: the grant byte reads seq (the
+		// receiver is one chunk behind) or seq+1 (it caught up).
+		glo, ghi := seqVal(seq), seqVal(seq+1)
+		t0 := r.Now()
+		ctx.WaitFlag(myTile, grantOff, func(b byte) bool { return b == glo || b == ghi })
+		tl.Record("sender", "waitgrant", t0, r.Now())
+		if seq-firstSeq >= 2 {
+			// Slot reuse: the vDMA must have finished reading chunk
+			// seq-2 out of this MPB slot.
+			clo, chi := seqVal(seq-2), seqVal(seq-1)
+			t0 = r.Now()
+			ctx.WaitFlag(myTile, dmacOff, func(b byte) bool { return b == clo || b == chi })
+			tl.Record("sender", "waitdma", t0, r.Now())
+		}
+		slot := int((seq - 1) % 2 * uint64(slotSize))
+		t0 = r.Now()
+		ctx.CopyPrivate(n)
+		ctx.WriteMPB(myDev, myTile, myBase+slot, data[:n])
+		ctx.FlushWCB()
+		tl.Record("sender", "put", t0, r.Now())
+		// Program the vDMA controller: one fused 32 B register write
+		// (address / count / control, Fig. 5).
+		ip.mmio(r, host.BankCommand{
+			Cmd:    host.CmdCopy,
+			DstDev: dstDev, DstTile: dstTile, DstOff: dstBase + slot,
+			SrcOff: myBase + slot, Count: n,
+			Flags:     host.FlagNotifyDest | host.FlagCompletion,
+			NotifyOff: dstBase + rcce.FlagByteAt(rcce.FlagSent, r.ID()), NotifyVal: seqVal(seq),
+			ComplOff: dmacOff, ComplVal: seqVal(seq),
+		})
+		tl.Mark("sender", "dma-armed")
+		data = data[n:]
+	}
+	// Blocking semantics: the receiver drained everything.
+	final := seqVal(lastSeq)
+	t0 := r.Now()
+	ctx.WaitFlag(myTile, readyOff, func(b byte) bool { return b == final })
+	tl.Record("sender", "waitack", t0, r.Now())
+}
+
+func (ip *interDeviceProtocol) vdmaRecv(r *rcce.Rank, src int, buf []byte) {
+	tl := r.Session().Timeline()
+	ctx := r.Ctx()
+	st := ip.pair(src, r.ID())
+	myDev, myTile, myBase := r.MPBOf(r.ID())
+	srcDev, srcTile, srcBase := r.MPBOf(src)
+	sentOff := myBase + rcce.FlagByteAt(rcce.FlagSent, src)
+	slotSize := ip.slotBytes()
+	lastSeq := st.in + chunksFor(len(buf), slotSize)
+	for len(buf) > 0 {
+		n := len(buf)
+		if n > slotSize {
+			n = slotSize
+		}
+		st.in++
+		seq := st.in
+		// Grant up to one chunk ahead, but never into the next message:
+		// the receive slots are shared by all senders.
+		grantTo := seq + 1
+		if grantTo > lastSeq {
+			grantTo = lastSeq
+		}
+		ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagGrant, r.ID()), []byte{seqVal(grantTo)})
+		ctx.FlushWCB()
+		lo, hi := seqVal(seq), seqVal(seq+1)
+		t0 := r.Now()
+		ctx.WaitFlag(myTile, sentOff, func(b byte) bool { return b == lo || b == hi })
+		tl.Record("receiver", "waitdata", t0, r.Now())
+		slot := int((seq - 1) % 2 * uint64(slotSize))
+		t0 = r.Now()
+		ctx.InvalidateMPB()
+		ctx.ReadMPB(myDev, myTile, myBase+slot, buf[:n]) // local get
+		ctx.CopyPrivate(n)
+		tl.Record("receiver", "localget", t0, r.Now())
+		// Publish the drained count at the sender (posted flag write).
+		ctx.WriteMPB(srcDev, srcTile, srcBase+rcce.FlagByteAt(rcce.FlagReady, r.ID()), []byte{seqVal(seq)})
+		ctx.FlushWCB()
+		buf = buf[n:]
+	}
+}

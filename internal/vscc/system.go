@@ -1,0 +1,287 @@
+// Package vscc implements the paper's contribution: a system of
+// cluster-on-a-chip processors. It couples multiple simulated SCC devices
+// through the PCIe fabric and the host communication task into one
+// virtual 240-core processor, extends the RCCE rank space linearly across
+// devices, and provides the host-accelerated inter-device communication
+// schemes of §3.3:
+//
+//   - SchemeRouting:    transparent packet routing (previous prototype)
+//   - SchemeHostRouted: host-acknowledged default protocol (lower bound)
+//   - SchemeHWAccel:    remote put with FPGA fast write-acks (upper
+//     bound; at most two devices)
+//   - SchemeCachedGet:  local put / remote get with the host software
+//     cache and prefetch streaming (Fig. 4b)
+//   - SchemeRemotePut:  remote put into the host write-combining buffer
+//     (Fig. 4c)
+//   - SchemeVDMA:       local put / local get through the virtual DMA
+//     controller (Fig. 4a/5), pipelined across MPB halves
+package vscc
+
+import (
+	"fmt"
+
+	"vscc/internal/host"
+	"vscc/internal/mem"
+	"vscc/internal/noc"
+	"vscc/internal/pcie"
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+)
+
+// Scheme selects the inter-device communication scheme.
+type Scheme int
+
+// The available schemes; see the package comment.
+const (
+	SchemeRouting Scheme = iota
+	SchemeHostRouted
+	SchemeHWAccel
+	SchemeCachedGet
+	SchemeRemotePut
+	SchemeVDMA
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRouting:
+		return "transparent-routing"
+	case SchemeHostRouted:
+		return "host-routed (lower bound)"
+	case SchemeHWAccel:
+		return "hw-accelerated (upper bound)"
+	case SchemeCachedGet:
+		return "local put/remote get + cache"
+	case SchemeRemotePut:
+		return "remote put + write combining"
+	case SchemeVDMA:
+		return "local put/local get + vDMA"
+	}
+	return "invalid"
+}
+
+// ackMode returns the write-acknowledge mode a scheme requires.
+func (s Scheme) ackMode() pcie.AckMode {
+	switch s {
+	case SchemeRouting:
+		return pcie.AckRemote
+	case SchemeHWAccel:
+		return pcie.AckFPGA
+	default:
+		return pcie.AckHost
+	}
+}
+
+// regionMode returns how the communication task treats payload regions.
+func (s Scheme) regionMode() host.Mode {
+	switch s {
+	case SchemeCachedGet:
+		return host.ModeCached
+	case SchemeRemotePut:
+		return host.ModeWriteCombining
+	case SchemeVDMA:
+		// The vDMA engine owns the bulk path; the direct small-message
+		// path posts its payload writes through the communication task.
+		return host.ModePosted
+	default:
+		return host.ModeTransparent
+	}
+}
+
+// DirectThreshold returns the scheme's default small-message cutoff: at
+// or below it, a core transfers the payload directly instead of engaging
+// the host machinery ("about 32 B to 128 B dependent on the
+// communication scheme", §3.3).
+func (s Scheme) DirectThreshold() int {
+	switch s {
+	case SchemeCachedGet:
+		return 32
+	case SchemeRemotePut:
+		return 128
+	case SchemeVDMA:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// Config describes a vSCC system.
+type Config struct {
+	// Devices is the number of coupled SCC boards (the paper's flagship
+	// system has five: 240 cores).
+	Devices int
+	// Scheme is the inter-device communication scheme.
+	Scheme Scheme
+	// DirectThreshold overrides the scheme default when non-zero.
+	DirectThreshold int
+	// VDMASlotBytes overrides the vDMA double-buffer slot size (ablation
+	// knob; 0 = half the MPB payload area). Must not exceed half the
+	// payload area.
+	VDMASlotBytes int
+	// OnChipProtocol handles same-device rank pairs; nil means the RCCE
+	// default (blocking local put / remote get).
+	OnChipProtocol rcce.Protocol
+	// FailedCores lists silently failed cores per device index, as the
+	// research system frequently exhibits at startup (§4).
+	FailedCores map[int][]int
+
+	// ChipParams, FabricParams and HostParams default when zero-valued.
+	ChipParams   *scc.Params
+	FabricParams *pcie.Params
+	HostParams   *host.Params
+}
+
+// System is a running vSCC: the chips, the fabric, and the communication
+// task, ready to host RCCE sessions.
+type System struct {
+	Kernel *sim.Kernel
+	Config Config
+	Chips  []*scc.Chip
+	Fabric *pcie.Fabric
+	Task   *host.Task
+}
+
+// NewSystem assembles a vSCC.
+func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("vscc: %d devices", cfg.Devices)
+	}
+	if cfg.Scheme == SchemeHWAccel && cfg.Devices > 2 {
+		return nil, fmt.Errorf("vscc: the hardware-accelerated scheme is unstable beyond 2 devices (§2.3); got %d", cfg.Devices)
+	}
+	chipParams := scc.DefaultParams()
+	if cfg.ChipParams != nil {
+		chipParams = *cfg.ChipParams
+	}
+	fabricParams := pcie.DefaultParams()
+	if cfg.FabricParams != nil {
+		fabricParams = *cfg.FabricParams
+	}
+	hostParams := host.DefaultParams()
+	if cfg.HostParams != nil {
+		hostParams = *cfg.HostParams
+	}
+	var chips []*scc.Chip
+	for d := 0; d < cfg.Devices; d++ {
+		chip := scc.NewChip(k, d, chipParams)
+		for _, core := range cfg.FailedCores[d] {
+			chip.SetAlive(core, false)
+		}
+		chips = append(chips, chip)
+	}
+	fabric, err := pcie.New(cfg.Devices, fabricParams, cfg.Scheme.ackMode())
+	if err != nil {
+		return nil, err
+	}
+	task, err := host.New(k, fabric, chips, hostParams)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Kernel: k, Config: cfg, Chips: chips, Fabric: fabric, Task: task}, nil
+}
+
+// TotalCores returns the number of available cores across all devices.
+func (s *System) TotalCores() int {
+	n := 0
+	for _, c := range s.Chips {
+		n += len(c.AliveCores())
+	}
+	return n
+}
+
+// Coord returns a rank placement's (x, y, z) coordinate in the vSCC
+// topology (Fig. 3): tile mesh position plus the device number as z.
+func Coord(pl rcce.Place) (x, y, z int) {
+	c := scc.CoreCoord(pl.Core)
+	return c.X, c.Y, pl.Dev
+}
+
+// NewSession creates an RCCE session of n ranks mapped linearly across
+// the devices (§3: device 0 first, device 1 starting at rank 48, ...),
+// registers every rank's payload and flag regions with the communication
+// task, and installs the scheme's wire protocol.
+func (s *System) NewSession(n int, opts ...rcce.Option) (*rcce.Session, error) {
+	places, err := rcce.LinearPlaces(s.Chips, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewSessionAt(places, opts...)
+}
+
+// NewSessionAt is NewSession with explicit placements.
+func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.Session, error) {
+	base := s.Config.OnChipProtocol
+	if base == nil {
+		base = rcce.DefaultProtocol{}
+	}
+	threshold := s.Config.DirectThreshold
+	if threshold == 0 {
+		threshold = s.Config.Scheme.DirectThreshold()
+	}
+	slot := s.Config.VDMASlotBytes
+	if slot > rcce.PayloadBytes/2 {
+		return nil, fmt.Errorf("vscc: vDMA slot %d exceeds half the payload area (%d)", slot, rcce.PayloadBytes/2)
+	}
+	proto := &interDeviceProtocol{
+		sys:       s,
+		base:      base,
+		scheme:    s.Config.Scheme,
+		threshold: threshold,
+		slot:      slot,
+		seq:       make(map[pairKey]*pairSeq),
+		published: make(map[int]int),
+	}
+	opts = append([]rcce.Option{rcce.WithProtocol(proto)}, opts...)
+	session, err := rcce.NewSession(s.Kernel, s.Chips, places, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.registerRegions(places); err != nil {
+		return nil, err
+	}
+	return session, nil
+}
+
+// registerRegions performs the boot-time registration of every rank's
+// communication buffer and flag area with the communication task, and
+// installs the LUT mappings of remote on-chip memory — the paper's §2.1
+// hardware-abstraction-layer extension.
+func (s *System) registerRegions(places []rcce.Place) error {
+	for _, pl := range places {
+		lut := s.Chips[pl.Dev].Cores[pl.Core].LUT
+		for d := range s.Chips {
+			if d == pl.Dev {
+				continue
+			}
+			if err := lut.MapRemoteDevice(d); err != nil {
+				return err
+			}
+		}
+	}
+	mode := s.Config.Scheme.regionMode()
+	for _, pl := range places {
+		tile := scc.CoreTile(pl.Core)
+		base := scc.CoreLMBOffset(pl.Core)
+		data := &host.Region{
+			Dev: pl.Dev, Tile: tile, Off: base, Len: rcce.PayloadBytes,
+			Kind: host.KindData, Mode: mode, Owner: pl.Core,
+		}
+		flags := &host.Region{
+			Dev: pl.Dev, Tile: tile, Off: base + rcce.PayloadBytes,
+			Len:  mem.CoreLMBSize - rcce.PayloadBytes,
+			Kind: host.KindFlag, Mode: host.ModeTransparent, Owner: pl.Core,
+		}
+		if err := s.Task.Register(data); err != nil {
+			return err
+		}
+		if err := s.Task.Register(flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MeshOf returns the on-chip mesh of a device, for latency inspection
+// tools.
+func (s *System) MeshOf(dev int) *noc.Mesh { return s.Chips[dev].Mesh }
