@@ -1,0 +1,33 @@
+# Build/test entry points for the vSCC reproduction. `make check` is the
+# tier-1 gate: build + vet + race-enabled tests + a -benchtime=1x pass
+# over every benchmark so bitrotted benchmark code fails fast.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-kernel check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches compile/runtime bitrot in
+# benchmark-only code without paying for a real measurement.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Real kernel-throughput measurement (see BENCH_kernel.json).
+bench-kernel:
+	$(GO) test ./internal/sim -run='^$$' -bench=KernelEventThroughput -benchmem
+	$(GO) run ./cmd/simbench
+
+check: build vet race bench

@@ -146,6 +146,42 @@ func BenchmarkFig8TrafficMatrix(b *testing.B) {
 	b.ReportMetric(maxMB, "maxpairMB")
 }
 
+// BenchmarkSweepParallel measures the wall-clock of whole figure sweeps
+// — a Fig. 6a-shaped message-size sweep and a Fig. 7-shaped rank-count
+// sweep — serial against the bounded worker pool. Every sweep point is
+// an independent simulation, so on an N-core host the pool approaches
+// an N-fold wall-clock cut with byte-identical output (asserted by
+// TestParallelPingPongSweepMatchesSerial).
+func BenchmarkSweepParallel(b *testing.B) {
+	sizes := []int{1024, 4096, 16384, 65536}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("fig6a-pingpong/parallel-%d", par), func(b *testing.B) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.OnChipPingPong(nil, 0, 1, sizes, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	counts := []int{4, 9, 16, 25, 36, 49}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fig7-bt/parallel-%d", par), func(b *testing.B) {
+			harness.SetParallelism(par)
+			defer harness.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				_, err := harness.BTSweep(harness.BTSweepConfig{
+					Class: npb.ClassW, Iterations: 1, Scheme: vscc.SchemeVDMA, Devices: 2,
+				}, counts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE7OnChipPeak tracks the 150 MB/s on-chip calibration point.
 func BenchmarkE7OnChipPeak(b *testing.B) {
 	var peak float64

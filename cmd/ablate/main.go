@@ -18,7 +18,9 @@ import (
 func main() {
 	size := flag.Int("size", 65536, "message size for throughput ablations [B]")
 	reps := flag.Int("reps", 3, "round trips per measurement")
+	parallel := flag.Int("parallel", 0, "sweep points run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	harness.SetParallelism(*parallel)
 
 	fmt.Println("== ablation: SIF prefetch streaming (LP/RG + cache) ==")
 	on, off, err := harness.AblateSIFStreaming(*size, *reps)

@@ -29,13 +29,15 @@ func main() {
 	countsFlag := flag.String("counts", "", "comma-separated rank counts (default: all squares up to -maxranks)")
 	best := flag.Bool("best", true, "run the optimal configuration (vDMA)")
 	worst := flag.Bool("worst", true, "run the worst configuration (transparent routing)")
+	parallel := flag.Int("parallel", 0, "rank counts run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	harness.SetParallelism(*parallel)
 
 	class, err := npb.ClassByName(*className)
 	check(err)
-	runOne := harness.BTRun
+	runSweep := harness.BTSweep
 	if *app == "lu" {
-		runOne = harness.LURun
+		runSweep = harness.LUSweep
 	} else if *app != "bt" {
 		check(fmt.Errorf("unknown app %q", *app))
 	}
@@ -70,13 +72,13 @@ func main() {
 	}
 	for _, sw := range sweeps {
 		rows[0] = append(rows[0], sw.name+" [GFLOP/s]")
-		for _, ranks := range counts {
-			pt, err := runOne(harness.BTSweepConfig{
-				Class: class, Iterations: *iters, Scheme: sw.scheme, Devices: 5,
-			}, ranks)
-			check(err)
-			sw.pts = append(sw.pts, pt)
-			fmt.Printf("  %-28s ranks=%3d  %7.3f GFLOP/s\n", sw.name, ranks, pt.GFlops)
+		pts, err := runSweep(harness.BTSweepConfig{
+			Class: class, Iterations: *iters, Scheme: sw.scheme, Devices: 5,
+		}, counts)
+		check(err)
+		sw.pts = pts
+		for _, pt := range pts {
+			fmt.Printf("  %-28s ranks=%3d  %7.3f GFLOP/s\n", sw.name, pt.Ranks, pt.GFlops)
 		}
 		s := stats.Series{Name: sw.name}
 		for _, p := range sw.pts {

@@ -33,7 +33,9 @@ func main() {
 	claims := flag.Bool("claims", false, "print the paper-vs-measured claims table")
 	timeline := flag.Bool("timeline", false, "render Fig. 2 style protocol timelines")
 	reps := flag.Int("reps", 3, "round trips per measurement")
+	parallel := flag.Int("parallel", 0, "sweep points run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+	harness.SetParallelism(*parallel)
 	if !*onchip && !*inter && !*claims && !*timeline {
 		*onchip, *inter = true, true
 	}

@@ -1,0 +1,185 @@
+// Command simbench measures the simulation engine's raw event
+// throughput — the number this repository's equivalent of a training
+// step time, since every reproduced figure is millions of kernel
+// events. It runs each workload several times and reports order
+// statistics (min/median/p99/max via stats.Summarize) instead of a
+// single hot number; -json writes the same data for BENCH_kernel.json.
+//
+// Workloads mirror BenchmarkKernelEventThroughput in internal/sim:
+//
+//	callback-chain    timed callbacks, queue depth 1 (pure heap cost)
+//	same-cycle-chain  current-instant cascades (bucket fast path)
+//	deep-queue-1024   heap behaviour at depth 1024
+//	process-delay     goroutine yield/resume handshake
+//	cond-pingpong     two processes alternating through conditions
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vscc/internal/sim"
+	"vscc/internal/stats"
+)
+
+type workload struct {
+	name string
+	run  func(events int) // executes exactly `events` kernel events
+}
+
+func workloads() []workload {
+	return []workload{
+		{"callback-chain", func(events int) {
+			k := sim.NewKernel()
+			n := 0
+			var step func()
+			step = func() {
+				n++
+				if n < events {
+					k.After(1, step)
+				}
+			}
+			k.After(1, step)
+			must(k.Run())
+		}},
+		{"same-cycle-chain", func(events int) {
+			k := sim.NewKernel()
+			n := 0
+			var step func()
+			step = func() {
+				n++
+				if n < events {
+					k.After(0, step)
+				}
+			}
+			k.After(1, step)
+			must(k.Run())
+		}},
+		{"deep-queue-1024", func(events int) {
+			const depth = 1024
+			k := sim.NewKernel()
+			n := 0
+			var refill func()
+			refill = func() {
+				n++
+				if n < events {
+					k.After(sim.Cycles(1+n%depth), refill)
+				}
+			}
+			for i := 0; i < depth && i < events; i++ {
+				k.After(sim.Cycles(1+i), refill)
+				n++
+			}
+			must(k.Run())
+		}},
+		{"process-delay", func(events int) {
+			k := sim.NewKernel()
+			k.Spawn("p", func(p *sim.Proc) {
+				for i := 0; i < events; i++ {
+					p.Delay(1)
+				}
+			})
+			must(k.Run())
+		}},
+		{"cond-pingpong", func(events int) {
+			k := sim.NewKernel()
+			ping := sim.NewCond(k, "ping")
+			pong := sim.NewCond(k, "pong")
+			turn := 0
+			k.Spawn("a", func(p *sim.Proc) {
+				for i := 0; i < events; i++ {
+					for turn != 0 {
+						ping.Wait(p)
+					}
+					turn = 1
+					pong.Signal()
+				}
+			})
+			k.Spawn("b", func(p *sim.Proc) {
+				for i := 0; i < events; i++ {
+					for turn != 1 {
+						pong.Wait(p)
+					}
+					turn = 0
+					ping.Signal()
+				}
+			})
+			must(k.Run())
+		}},
+	}
+}
+
+// result is the JSON record for one workload.
+type result struct {
+	Workload    string  `json:"workload"`
+	EventsPerOp int     `json:"events_per_rep"`
+	Reps        int     `json:"reps"`
+	NsPerEvent  summary `json:"ns_per_event"`
+	EventsPerS  summary `json:"events_per_sec"`
+}
+
+// summary mirrors stats.Summary with JSON tags and only the order
+// statistics benchmark comparisons need.
+type summary struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+}
+
+func toSummary(s stats.Summary) summary {
+	return summary{Min: s.Min, Median: s.Median, P99: s.P99, Max: s.Max}
+}
+
+func main() {
+	events := flag.Int("events", 1_000_000, "kernel events per repetition")
+	reps := flag.Int("reps", 7, "repetitions per workload (summarized)")
+	jsonPath := flag.String("json", "", "write results as JSON to this file")
+	flag.Parse()
+
+	var out []result
+	rows := [][]string{{"workload", "ns/event (median)", "p99", "events/s (median)"}}
+	for _, w := range workloads() {
+		nsPer := make([]float64, 0, *reps)
+		evPerS := make([]float64, 0, *reps)
+		for r := 0; r < *reps; r++ {
+			start := time.Now()
+			w.run(*events)
+			el := time.Since(start)
+			nsPer = append(nsPer, float64(el.Nanoseconds())/float64(*events))
+			evPerS = append(evPerS, float64(*events)/el.Seconds())
+		}
+		ns, ev := stats.Summarize(nsPer), stats.Summarize(evPerS)
+		out = append(out, result{
+			Workload: w.name, EventsPerOp: *events, Reps: *reps,
+			NsPerEvent: toSummary(ns), EventsPerS: toSummary(ev),
+		})
+		rows = append(rows, []string{
+			w.name,
+			fmt.Sprintf("%.1f", ns.Median),
+			fmt.Sprintf("%.1f", ns.P99),
+			fmt.Sprintf("%.0f", ev.Median),
+		})
+	}
+	fmt.Print(stats.Table(rows))
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"benchmark": "simbench kernel event throughput",
+			"results":   out,
+		}, "", "  ")
+		must(err)
+		must(os.WriteFile(*jsonPath, append(blob, '\n'), 0o644))
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}

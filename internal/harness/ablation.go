@@ -18,9 +18,8 @@ import (
 // interDevicePingPongWith measures cross-device ping-pong under an
 // arbitrary system configuration.
 func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPongPoint, error) {
-	var out []PingPongPoint
-	for _, size := range sizes {
-		mk := func() (*rcce.Session, error) {
+	return PingPongSweep(func(int) func() (*rcce.Session, error) {
+		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			c := cfg
 			c.Devices = 2
@@ -30,11 +29,22 @@ func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPong
 			}
 			return sys.NewSession(96)
 		}
-		pt, err := pingPong(mk, 0, 48, size, reps)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
+	}, 0, 48, sizes, reps)
+}
+
+// AblationSweep measures one throughput number per parameter value, each
+// on an independently configured system, fanning the grid out across the
+// worker pool. The result map is keyed by parameter value; because every
+// point is an isolated simulation the map contents are identical to a
+// serial sweep's.
+func AblationSweep(values []int, run func(v int) (float64, error)) (map[int]float64, error) {
+	mbps, err := mapPoints(values, run)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(values))
+	for i, v := range values {
+		out[v] = mbps[i]
 	}
 	return out, nil
 }
@@ -60,32 +70,28 @@ func AblateSIFStreaming(size, reps int) (withStream, withoutStream float64, err 
 // AblateWCBFlush measures the remote-put scheme across write-combining
 // flush thresholds.
 func AblateWCBFlush(size, reps int, flushBytes []int) (map[int]float64, error) {
-	out := make(map[int]float64)
-	for _, fb := range flushBytes {
+	return AblationSweep(flushBytes, func(fb int) (float64, error) {
 		params := host.DefaultParams()
 		params.WCBFlushBytes = fb
 		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeRemotePut, HostParams: &params}, []int{size}, reps)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[fb] = pts[0].MBps
-	}
-	return out, nil
+		return pts[0].MBps, nil
+	})
 }
 
 // AblateDMABurst measures the vDMA scheme across host DMA burst sizes.
 func AblateDMABurst(size, reps int, bursts []int) (map[int]float64, error) {
-	out := make(map[int]float64)
-	for _, burst := range bursts {
+	return AblationSweep(bursts, func(burst int) (float64, error) {
 		params := host.DefaultParams()
 		params.DMABurstBytes = burst
 		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeVDMA, HostParams: &params}, []int{size}, reps)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[burst] = pts[0].MBps
-	}
-	return out, nil
+		return pts[0].MBps, nil
+	})
 }
 
 // AblateVDMASlot measures the vDMA scheme with double-buffered halves
@@ -93,15 +99,13 @@ func AblateDMABurst(size, reps int, bursts []int) (map[int]float64, error) {
 // overheads, the full half maximizes pipelining; this is the design
 // choice that removes the 8 kB slope (§4.1).
 func AblateVDMASlot(size, reps int, slots []int) (map[int]float64, error) {
-	out := make(map[int]float64)
-	for _, slot := range slots {
+	return AblationSweep(slots, func(slot int) (float64, error) {
 		pts, err := interDevicePingPongWith(vscc.Config{Scheme: vscc.SchemeVDMA, VDMASlotBytes: slot}, []int{size}, reps)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[slot] = pts[0].MBps
-	}
-	return out, nil
+		return pts[0].MBps, nil
+	})
 }
 
 // AblateDirectThreshold measures small-message one-way latency (in
@@ -125,13 +129,19 @@ func AblateDirectThreshold(scheme vscc.Scheme, size, reps int) (direct, engaged 
 // AblateBTScheme compares BT on a cross-device session under every
 // scheme — the application-level consequence of the scheme choice.
 func AblateBTScheme(ranks, iters int, schemes []vscc.Scheme) (map[vscc.Scheme]float64, error) {
-	out := make(map[vscc.Scheme]float64)
-	for _, s := range schemes {
+	gflops, err := mapPoints(schemes, func(s vscc.Scheme) (float64, error) {
 		pt, err := BTRun(BTSweepConfig{Class: npb.ClassC, Iterations: iters, Scheme: s, Devices: 5}, ranks)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[s] = pt.GFlops
+		return pt.GFlops, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[vscc.Scheme]float64, len(schemes))
+	for i, s := range schemes {
+		out[s] = gflops[i]
 	}
 	return out, nil
 }

@@ -31,17 +31,20 @@ type BTSweepConfig struct {
 
 // BTSweep runs NPB BT for each square rank count and returns the
 // scalability curve. Rank counts above one device's 48 cores exercise
-// the inter-device path.
+// the inter-device path. Each count is an independent simulation on its
+// own vSCC, so the sweep fans out across the worker pool (see
+// SetParallelism) with results in input order.
 func BTSweep(cfg BTSweepConfig, counts []int) ([]BTPoint, error) {
-	var out []BTPoint
-	for _, ranks := range counts {
-		pt, err := BTRun(cfg, ranks)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	return mapPoints(counts, func(ranks int) (BTPoint, error) {
+		return BTRun(cfg, ranks)
+	})
+}
+
+// LUSweep is BTSweep for the NPB LU extension workload.
+func LUSweep(cfg BTSweepConfig, counts []int) ([]BTPoint, error) {
+	return mapPoints(counts, func(ranks int) (BTPoint, error) {
+		return LURun(cfg, ranks)
+	})
 }
 
 // BTRun executes one BT configuration on a fresh vSCC.

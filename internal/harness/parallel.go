@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Every sweep in this package — the Fig. 6 size sweeps, the Fig. 7 rank
+// sweep, the ablation grids — is a set of *independent* simulations:
+// each point builds its own sim.Kernel, chips and session, and shares
+// nothing with its neighbours. The pool below fans those points out
+// across OS threads while keeping the results (and any error) in
+// deterministic input order, so a parallel sweep is byte-identical to a
+// serial one.
+
+// parallelism holds the sweep fan-out; 0 means "use GOMAXPROCS".
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of sweep points run concurrently by
+// every subsequent sweep. n <= 0 restores the default (GOMAXPROCS);
+// n == 1 forces serial execution. It is safe to call concurrently with
+// running sweeps; points already dispatched keep their pool.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the current sweep fan-out.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachPoint runs fn(i) for every i in [0, n) on a bounded worker
+// pool of Parallelism() goroutines. All points run even if one fails
+// (they are independent simulations); the returned error is the
+// lowest-index one, so the outcome does not depend on goroutine timing.
+func ForEachPoint(n int, fn func(i int) error) error {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mapPoints runs fn over every input on the worker pool and returns the
+// outputs in input order.
+func mapPoints[T, R any](inputs []T, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(inputs))
+	err := ForEachPoint(len(inputs), func(i int) error {
+		r, ferr := fn(inputs[i])
+		if ferr != nil {
+			return ferr
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

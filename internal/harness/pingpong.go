@@ -79,15 +79,29 @@ func pingPong(mk func() (*rcce.Session, error), a, b, size, reps int) (PingPongP
 	return PingPongPoint{Size: size, Cycles: total, Reps: reps, MBps: mbps}, nil
 }
 
+// PingPongSweep measures one ping-pong point per message size between
+// ranks a and b, building a fresh session per point with mk. Each point
+// is an independent simulation, so the sweep fans out across the
+// package's worker pool (see SetParallelism); results come back in size
+// order regardless of the fan-out, identical to a serial sweep.
+func PingPongSweep(mk func(size int) func() (*rcce.Session, error), a, b int, sizes []int, reps int) ([]PingPongPoint, error) {
+	return mapPoints(sizes, func(size int) (PingPongPoint, error) {
+		pt, err := pingPong(mk(size), a, b, size, reps)
+		if err != nil {
+			return PingPongPoint{}, fmt.Errorf("size %d: %w", size, err)
+		}
+		return pt, nil
+	})
+}
+
 // OnChipPingPong measures on-chip ping-pong between two cores of a
 // single SCC under the wire protocol produced by newProto (nil = RCCE
 // default). A fresh protocol instance is created per measurement because
 // stateful protocols (iRCCE pipelined) are bound to one session. cores
 // picks the pair; the paper's best case uses adjacent cores.
 func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int, reps int) ([]PingPongPoint, error) {
-	var out []PingPongPoint
-	for _, size := range sizes {
-		mk := func() (*rcce.Session, error) {
+	pts, err := PingPongSweep(func(int) func() (*rcce.Session, error) {
+		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			chip := scc.NewChip(k, 0, scc.DefaultParams())
 			places := []rcce.Place{{Dev: 0, Core: coreA}, {Dev: 0, Core: coreB}}
@@ -97,21 +111,18 @@ func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int
 			}
 			return rcce.NewSession(k, []*scc.Chip{chip}, places, opts...)
 		}
-		pt, err := pingPong(mk, 0, 1, size, reps)
-		if err != nil {
-			return nil, fmt.Errorf("on-chip size %d: %w", size, err)
-		}
-		out = append(out, pt)
+	}, 0, 1, sizes, reps)
+	if err != nil {
+		return nil, fmt.Errorf("on-chip: %w", err)
 	}
-	return out, nil
+	return pts, nil
 }
 
 // InterDevicePingPong measures cross-device ping-pong (rank 0 on device
 // 0 against rank 48 on device 1) under a vSCC scheme.
 func InterDevicePingPong(scheme vscc.Scheme, sizes []int, reps int) ([]PingPongPoint, error) {
-	var out []PingPongPoint
-	for _, size := range sizes {
-		mk := func() (*rcce.Session, error) {
+	pts, err := PingPongSweep(func(int) func() (*rcce.Session, error) {
+		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme})
 			if err != nil {
@@ -119,13 +130,11 @@ func InterDevicePingPong(scheme vscc.Scheme, sizes []int, reps int) ([]PingPongP
 			}
 			return sys.NewSession(96)
 		}
-		pt, err := pingPong(mk, 0, 48, size, reps)
-		if err != nil {
-			return nil, fmt.Errorf("%v size %d: %w", scheme, size, err)
-		}
-		out = append(out, pt)
+	}, 0, 48, sizes, reps)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", scheme, err)
 	}
-	return out, nil
+	return pts, nil
 }
 
 // ToSeries converts measurements to a plot series.

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+)
+
+// BenchmarkKernelEventThroughput measures the kernel's raw event
+// dispatch rate — the equivalent of a training-step time for this
+// repository, since every figure is millions of these events. ns/op is
+// the cost of one event; allocs/op is the per-event allocation count
+// the hot path pays.
+//
+//	go test ./internal/sim -bench=KernelEventThroughput -benchmem
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	// callback-chain: each callback schedules the next one cycle later.
+	// Exercises one heap push + one heap pop per event with a queue depth
+	// of one — the pure queue-machinery cost.
+	b.Run("callback-chain", func(b *testing.B) {
+		k := NewKernel()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < b.N {
+				k.After(1, step)
+			}
+		}
+		k.After(1, step)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		reportEventsPerSec(b)
+	})
+
+	// same-cycle-chain: each callback schedules the next at the *current*
+	// cycle. This is the pattern condition-variable wakeup cascades and
+	// zero-latency forwarding hops produce; a same-cycle fast path can
+	// dispatch it without touching the heap at all.
+	b.Run("same-cycle-chain", func(b *testing.B) {
+		k := NewKernel()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < b.N {
+				k.After(0, step)
+			}
+		}
+		k.After(1, step)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		reportEventsPerSec(b)
+	})
+
+	// deep-queue: N pre-scheduled callbacks at distinct times, then one
+	// drain. Exercises heap behaviour at realistic queue depths (sift
+	// costs are logarithmic in this depth).
+	b.Run("deep-queue-1024", func(b *testing.B) {
+		const depth = 1024
+		k := NewKernel()
+		n := 0
+		var refill func()
+		refill = func() {
+			n++
+			if n < b.N {
+				k.After(Cycles(1+n%depth), refill)
+			}
+		}
+		for i := 0; i < depth && i < b.N; i++ {
+			k.After(Cycles(1+i), refill)
+			n++
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		reportEventsPerSec(b)
+	})
+
+	// process-delay: a single process advancing the clock b.N times.
+	// Exercises the yield/resume goroutine handshake plus the queue.
+	b.Run("process-delay", func(b *testing.B) {
+		k := NewKernel()
+		k.Spawn("p", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Delay(1)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		reportEventsPerSec(b)
+	})
+
+	// cond-pingpong: two processes alternating through condition
+	// variables — the shape of every blocking protocol in the model.
+	b.Run("cond-pingpong", func(b *testing.B) {
+		k := NewKernel()
+		ping := NewCond(k, "ping")
+		pong := NewCond(k, "pong")
+		turn := 0
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				for turn != 0 {
+					ping.Wait(p)
+				}
+				turn = 1
+				pong.Signal()
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				for turn != 1 {
+					pong.Wait(p)
+				}
+				turn = 0
+				ping.Signal()
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		reportEventsPerSec(b)
+	})
+}
+
+func reportEventsPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "events/s")
+	}
+}

@@ -5,21 +5,32 @@ package sim
 // Broadcast. Wakeups take effect at the current simulated instant and are
 // delivered in FIFO order, preserving determinism.
 type Cond struct {
-	k       *Kernel
-	name    string
+	k      *Kernel
+	name   string
+	reason string // "cond <name>", built once — Wait is a hot path
+
+	// waiters[head:] are the blocked processes in FIFO order. Dequeuing
+	// advances head instead of reslicing from the front, so the backing
+	// array is reused once drained rather than reallocated every
+	// wait/signal cycle.
 	waiters []*Proc
+	head    int
 }
 
 // NewCond returns a condition variable owned by kernel k. The name is used
 // in deadlock reports.
 func NewCond(k *Kernel, name string) *Cond {
-	return &Cond{k: k, name: name}
+	return &Cond{k: k, name: name, reason: "cond " + name}
 }
 
 // Wait blocks the calling process until the condition is signalled.
 func (c *Cond) Wait(p *Proc) {
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
 	c.waiters = append(c.waiters, p)
-	p.park("cond " + c.name)
+	p.park(c.reason)
 }
 
 // WaitFor blocks the calling process until pred() is true, re-checking
@@ -33,25 +44,28 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.head == len(c.waiters) {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	w := c.waiters[c.head]
+	c.waiters[c.head] = nil // release for the GC
+	c.head++
 	w.unpark()
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	ws := c.waiters[c.head:]
+	c.waiters = c.waiters[:0]
+	c.head = 0
+	for i, w := range ws {
+		ws[i] = nil
 		w.unpark()
 	}
 }
 
 // Waiting reports the number of processes blocked on the condition.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return len(c.waiters) - c.head }
 
 // Gate is a boolean level-triggered synchronization primitive: processes
 // wait until it is open. Unlike Cond, a Gate that is already open never
@@ -128,8 +142,12 @@ func (s *Semaphore) Count() int { return s.count }
 // Queue is an unbounded FIFO of items exchanged between processes in
 // simulated time — the simulation analogue of a Go channel.
 type Queue[T any] struct {
-	cond  *Cond
+	cond *Cond
+
+	// items[head:] are the queued values; dequeuing advances head so a
+	// drained queue reuses its backing array (see Cond.waiters).
 	items []T
+	head  int
 }
 
 // NewQueue returns an empty queue.
@@ -139,6 +157,10 @@ func NewQueue[T any](k *Kernel, name string) *Queue[T] {
 
 // Push appends an item and wakes one waiting consumer.
 func (q *Queue[T]) Push(v T) {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	q.items = append(q.items, v)
 	q.cond.Signal()
 }
@@ -146,24 +168,27 @@ func (q *Queue[T]) Push(v T) {
 // Pop removes and returns the oldest item, blocking while the queue is
 // empty.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.head == len(q.items) {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero // release for the GC
+	q.head++
 	return v
 }
 
 // TryPop removes the oldest item if one is present.
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
 	return v, true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }

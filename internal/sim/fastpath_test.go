@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Tests for the engine fast paths introduced with the monomorphic event
+// queue: the same-cycle bucket, the resettable Stop, and the ordering
+// guarantees the heap must keep without container/heap.
+
+// TestHeapOrderingRandomized is the ordering contract of the hand-rolled
+// heap: whatever order events are scheduled in, they fire in (time,
+// sequence) order.
+func TestHeapOrderingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		k := NewKernel()
+		const n = 200
+		type stamp struct {
+			at  Cycles
+			ord int // schedule order, the within-cycle tiebreak
+		}
+		want := make([]stamp, 0, n)
+		var got []stamp
+		for i := 0; i < n; i++ {
+			at := Cycles(rng.Intn(20)) // many collisions
+			s := stamp{at: at, ord: i}
+			want = append(want, s)
+			k.At(at, func() { got = append(got, s) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: dispatched %d events, want %d", trial, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSameCycleCascade exercises the bucket fast path: a long chain of
+// events each scheduling the next at the same instant must run in order
+// without the clock moving.
+func TestSameCycleCascade(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 10000 {
+			k.After(0, step)
+		}
+	}
+	k.At(7, step)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10000 {
+		t.Errorf("cascade ran %d steps, want 10000", n)
+	}
+	if k.Now() != 7 {
+		t.Errorf("clock moved to %d during a same-cycle cascade, want 7", k.Now())
+	}
+}
+
+// TestStopThenRunResumes is the resettable-Stop contract: events pending
+// when Stop fires are dispatched by the next run, not dropped.
+func TestStopThenRunResumes(t *testing.T) {
+	k := NewKernel()
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(Cycles(10*(i+1)), func() {
+			fired = append(fired, i)
+			if i == 1 {
+				k.Stop()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !k.Stopped() {
+		t.Error("Stopped() = false right after a stopped run")
+	}
+	if len(fired) != 2 {
+		t.Fatalf("first run fired %v, want the first two events", fired)
+	}
+	if k.Pending() != 3 {
+		t.Errorf("Pending() = %d after stop, want 3", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stopped() {
+		t.Error("Stopped() = true after a clean rerun")
+	}
+	if len(fired) != 5 {
+		t.Errorf("resumed run ended with %v, want all five events", fired)
+	}
+}
+
+// TestStopInRunForLoopDoesNotDropWork models the RunFor polling loop the
+// host daemon uses: Stop pauses the loop; the following RunFor picks the
+// remaining work back up.
+func TestStopInRunForLoopDoesNotDropWork(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Delay(10)
+			ticks++
+			if ticks == 3 {
+				k.Stop()
+			}
+		}
+	})
+	if err := k.RunFor(1000); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("stopped RunFor ticked %d times, want 3", ticks)
+	}
+	if got := k.Now(); got != 30 {
+		t.Fatalf("stopped RunFor left clock at %d, want 30 (no silent idle advance)", got)
+	}
+	// The next bounded run clears the stop and finishes the work.
+	if err := k.RunFor(1000); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 10 {
+		t.Errorf("resumed RunFor ticked to %d, want 10", ticks)
+	}
+}
+
+func TestResetClearsStop(t *testing.T) {
+	k := NewKernel()
+	k.Stop()
+	if !k.Stopped() {
+		t.Fatal("Stop did not set Stopped")
+	}
+	k.Reset()
+	if k.Stopped() {
+		t.Error("Reset did not clear Stopped")
+	}
+}
+
+// TestRunUntilBackwardsGuardPanics checks that the bounded run carries
+// the same queue-went-backwards internal consistency guard as Run
+// (white box: the public API cannot schedule into the past).
+func TestRunUntilBackwardsGuardPanics(t *testing.T) {
+	k := NewKernel()
+	k.queue.push(event{at: 5, seq: 1, fn: func() {}})
+	k.now = 10
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil dispatched an event behind the clock without panicking")
+		}
+	}()
+	_ = k.RunUntil(20)
+}
+
+// TestRunUntilPastBoundIsNoOp: a bound behind the clock must neither
+// dispatch current-cycle work nor rewind anything.
+func TestRunUntilPastBoundIsNoOp(t *testing.T) {
+	k := NewKernel()
+	if err := k.RunFor(100); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	k.At(100, func() { ran = true }) // due now, but outside the bound below
+	if err := k.RunUntil(50); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("RunUntil(50) dispatched an event due at 100")
+	}
+	if k.Now() != 100 {
+		t.Errorf("clock = %d, want 100", k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event lost after past-bound RunUntil")
+	}
+}
+
+// TestPendingCountsBucketAndHeap covers Pending across both queue
+// structures.
+func TestPendingCountsBucketAndHeap(t *testing.T) {
+	k := NewKernel()
+	k.At(0, func() {})  // bucket (due at the current cycle)
+	k.At(10, func() {}) // heap
+	k.At(20, func() {})
+	if got := k.Pending(); got != 3 {
+		t.Errorf("Pending() = %d, want 3", got)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", got)
+	}
+}
+
+// TestCondWaitingAfterChurn guards the head-indexed waiter list: Waiting
+// must stay correct through interleaved waits and wakes.
+func TestCondWaitingAfterChurn(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "churn")
+	woken := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+			c.Wait(p)
+			woken++
+		})
+	}
+	k.Spawn("ctl", func(p *Proc) {
+		p.Delay(1)
+		if c.Waiting() != 4 {
+			panic("want 4 first-round waiters")
+		}
+		c.Signal()
+		c.Signal()
+		p.Delay(1) // the two woken processes re-wait
+		if c.Waiting() != 4 {
+			panic("want 2 fresh + 2 re-waiters")
+		}
+		c.Broadcast()
+		p.Delay(1)
+		c.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 8 {
+		t.Errorf("woken = %d, want 8", woken)
+	}
+}

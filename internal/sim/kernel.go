@@ -10,10 +10,25 @@
 //
 // Time is measured in Cycles. The interpretation of a cycle is up to the
 // user; the vSCC model uses core clock cycles of the 533 MHz P54C cores.
+//
+// # Engine internals
+//
+// The event queue is a hand-rolled monomorphic binary min-heap over the
+// concrete event struct, ordered by (time, sequence). Compared to
+// container/heap over interface{} this removes the per-push boxing
+// allocation and the dynamic dispatch on every comparison — the hot path
+// of the whole simulator, since every Delay, wakeup and timed callback is
+// one push and one pop.
+//
+// Same-cycle events take a second fast path: events scheduled for the
+// current instant (condition-variable wakeups, zero-latency forwarding
+// hops, Delay(0) yields) are appended to a FIFO bucket and dispatched
+// without touchinging the heap at all. Sequence numbers are assigned
+// monotonically, so plain FIFO order over the bucket is exactly
+// (time, sequence) order and determinism is preserved bit-for-bit.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -30,24 +45,63 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by (time, sequence).
+// before reports whether e is ordered ahead of o: earlier time first,
+// schedule order within a cycle.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a monomorphic binary min-heap of events. It replaces
+// container/heap to keep pushes allocation-free: values move through
+// concrete-typed slice slots, never through interface{}.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event. The caller must ensure the
+// heap is non-empty.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the fn/p references for the GC
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q[r].before(&q[l]) {
+			min = r
+		}
+		if !q[min].before(&q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // procState tracks where a process is in its lifecycle.
@@ -80,38 +134,71 @@ func (s procState) String() string {
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
-	now    Cycles
-	seq    uint64
-	queue  eventHeap
+	now   Cycles
+	seq   uint64
+	queue eventHeap
+
+	// bucket holds the events due at exactly the current time, in
+	// (time, seq) order; head indexes the next one to dispatch. Events
+	// scheduled for the current instant go straight here, skipping the
+	// heap entirely — the same-cycle fast path.
+	bucket []event
+	head   int
+
 	procs  []*Proc
-	yield  chan struct{} // signalled by the running process when it yields
-	live   int           // processes not yet done
+	live   int // processes not yet done
 	panics []error
 
-	// stopped is set by Stop; Run drains no further events once set.
+	// stopped is set by Stop; the run loop drains no further events once
+	// set. It is cleared on the next Run/RunFor/RunUntil call, so a
+	// stopped kernel can be resumed without dropping pending work.
 	stopped bool
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{yield: make(chan struct{})}
+	return &Kernel{}
 }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Cycles { return k.now }
 
-// Stop makes Run return after the currently executing event completes.
-// It may be called from process context or from a callback.
+// Stop makes the current Run/RunFor/RunUntil return after the currently
+// executing event completes. It may be called from process context or
+// from a callback. Pending events stay queued: the next Run/RunFor/
+// RunUntil call clears the stop flag and picks up exactly where the
+// stopped run left off (see Reset).
 func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether the kernel was halted by Stop and has not run
+// since. It lets RunFor polling loops distinguish "stopped" from "ran to
+// the time bound".
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Reset clears a previous Stop so the kernel will run again. Run, RunFor
+// and RunUntil call it implicitly on entry; it exists for callers that
+// want to clear the flag without running (for example before inspecting
+// Pending).
+func (k *Kernel) Reset() { k.stopped = false }
+
+// Pending reports the number of queued events not yet dispatched.
+func (k *Kernel) Pending() int { return len(k.queue) + len(k.bucket) - k.head }
 
 // Proc is a simulated process. Methods on Proc must only be called from
 // within the process's own body function.
 type Proc struct {
-	k      *Kernel
-	name   string
-	state  procState
-	resume chan struct{}
-	body   func(*Proc)
+	k     *Kernel
+	name  string
+	state procState
+	body  func(*Proc)
+
+	// run is the single handoff channel for this process: the kernel
+	// sends on it to hand the process the execution token, the process
+	// sends on it to hand the token back when it yields or finishes.
+	// Exactly one side is ever sending, because exactly one of
+	// {kernel, process} executes at any instant.
+	run chan struct{}
+
 	daemon bool
 
 	// blockReason is a human-readable description of what the process is
@@ -141,7 +228,7 @@ func (k *Kernel) SpawnAt(at Cycles, name string, body func(*Proc)) *Proc {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: SpawnAt(%d) in the past (now %d)", at, k.now))
 	}
-	p := &Proc{k: k, name: name, state: procNew, resume: make(chan struct{}), body: body}
+	p := &Proc{k: k, name: name, state: procNew, run: make(chan struct{}), body: body}
 	k.procs = append(k.procs, p)
 	k.live++
 	k.schedule(at, p, nil)
@@ -173,43 +260,31 @@ func (k *Kernel) After(d Cycles, fn func()) { k.At(k.now+d, fn) }
 
 func (k *Kernel) schedule(at Cycles, p *Proc, fn func()) {
 	k.seq++
-	heap.Push(&k.queue, event{at: at, seq: k.seq, p: p, fn: fn})
+	if at == k.now {
+		// Same-cycle fast path: seq is monotonic, so appending keeps the
+		// bucket in (time, seq) order without a heap operation. The heap
+		// cannot hold an event at the current time (advancing to a cycle
+		// drains all its heap events into the bucket), so dispatch order
+		// across the two structures stays correct.
+		if k.head == len(k.bucket) {
+			// Everything already dispatched — rewind so a long cascade of
+			// same-cycle events reuses the same slots instead of growing
+			// the bucket for the whole cycle.
+			k.bucket = k.bucket[:0]
+			k.head = 0
+		}
+		k.bucket = append(k.bucket, event{at: at, seq: k.seq, p: p, fn: fn})
+		return
+	}
+	k.queue.push(event{at: at, seq: k.seq, p: p, fn: fn})
 }
 
 // Run executes events until the queue empties, Stop is called, or no
 // runnable work remains. It returns an error if live processes remain
 // blocked when the queue drains (a deadlock) or if a process panicked.
 func (k *Kernel) Run() error {
-	for len(k.queue) > 0 && !k.stopped {
-		e := heap.Pop(&k.queue).(event)
-		if e.at < k.now {
-			panic("sim: event queue went backwards")
-		}
-		k.now = e.at
-		if e.fn != nil {
-			e.fn()
-			continue
-		}
-		p := e.p
-		switch p.state {
-		case procDone:
-			continue // stale wakeup for a finished process
-		case procNew:
-			p.state = procRunning
-			go k.runBody(p)
-		case procBlocked, procRunnable:
-			p.state = procRunning
-			p.resume <- struct{}{}
-		default:
-			panic("sim: resuming a process in state " + p.state.String())
-		}
-		<-k.yield
-		if len(k.panics) > 0 {
-			return k.panics[0]
-		}
-	}
-	if k.stopped {
-		return nil
+	if err := k.run(0, false); err != nil || k.stopped {
+		return err
 	}
 	if k.live > 0 {
 		return k.deadlockError()
@@ -221,35 +296,88 @@ func (k *Kernel) Run() error {
 // Unlike Run, remaining blocked processes are not treated as a deadlock.
 func (k *Kernel) RunFor(d Cycles) error { return k.RunUntil(k.now + d) }
 
-// RunUntil executes events with timestamps <= t.
+// RunUntil executes events with timestamps <= t. If the queue drains (or
+// only holds later events) before t, the clock advances to t.
 func (k *Kernel) RunUntil(t Cycles) error {
-	for len(k.queue) > 0 && !k.stopped && k.queue[0].at <= t {
-		e := heap.Pop(&k.queue).(event)
-		k.now = e.at
-		if e.fn != nil {
-			e.fn()
-			continue
-		}
-		p := e.p
-		switch p.state {
-		case procDone:
-			continue
-		case procNew:
-			p.state = procRunning
-			go k.runBody(p)
-		case procBlocked, procRunnable:
-			p.state = procRunning
-			p.resume <- struct{}{}
-		default:
-			panic("sim: resuming a process in state " + p.state.String())
-		}
-		<-k.yield
-		if len(k.panics) > 0 {
-			return k.panics[0]
-		}
+	if err := k.run(t, true); err != nil {
+		return err
 	}
 	if k.now < t && !k.stopped {
 		k.now = t
+	}
+	return nil
+}
+
+// run is the single dispatch loop behind Run, RunFor and RunUntil.
+// With bounded set, only events with timestamps <= limit are dispatched.
+// It returns when the queue drains, the bound is passed, Stop is called,
+// or a process panics.
+func (k *Kernel) run(limit Cycles, bounded bool) error {
+	k.stopped = false // a previous Stop is stale once a new run starts
+	if bounded && limit < k.now {
+		return nil // the bucket may hold events at now > limit; keep them queued
+	}
+	for {
+		var e event
+		if k.head < len(k.bucket) {
+			// Fast path: next event is due at the current cycle.
+			e = k.bucket[k.head]
+			k.bucket[k.head] = event{} // release fn/p for the GC
+			k.head++
+		} else {
+			if k.head > 0 {
+				k.bucket = k.bucket[:0]
+				k.head = 0
+			}
+			if len(k.queue) == 0 {
+				return nil
+			}
+			if bounded && k.queue[0].at > limit {
+				return nil
+			}
+			e = k.queue.pop()
+			if e.at < k.now {
+				panic("sim: event queue went backwards")
+			}
+			k.now = e.at
+			// Drain every event due at the new cycle into the bucket so
+			// that (a) they dispatch FIFO without further sift costs and
+			// (b) schedule() may assume the heap never holds events at
+			// the current time. Heap pops at equal timestamps come out
+			// in seq order, so the bucket stays sorted.
+			for len(k.queue) > 0 && k.queue[0].at == e.at {
+				k.bucket = append(k.bucket, k.queue.pop())
+			}
+		}
+		if e.fn != nil {
+			e.fn()
+		} else if err := k.dispatch(e.p); err != nil {
+			return err
+		}
+		if k.stopped {
+			return nil
+		}
+	}
+}
+
+// dispatch hands the execution token to process p and waits for it to
+// yield or finish.
+func (k *Kernel) dispatch(p *Proc) error {
+	switch p.state {
+	case procDone:
+		return nil // stale wakeup for a finished process
+	case procNew:
+		p.state = procRunning
+		go k.runBody(p)
+	case procBlocked, procRunnable:
+		p.state = procRunning
+		p.run <- struct{}{}
+	default:
+		panic("sim: resuming a process in state " + p.state.String())
+	}
+	<-p.run
+	if len(k.panics) > 0 {
+		return k.panics[0]
 	}
 	return nil
 }
@@ -263,7 +391,7 @@ func (k *Kernel) runBody(p *Proc) {
 		if !p.daemon {
 			k.live--
 		}
-		k.yield <- struct{}{}
+		p.run <- struct{}{}
 	}()
 	p.body(p)
 }
@@ -290,8 +418,8 @@ func (p *Proc) Delay(d Cycles) {
 	p.state = procRunnable
 	p.blockReason = "delay"
 	k.schedule(k.now+d, p, nil)
-	k.yield <- struct{}{}
-	<-p.resume
+	p.run <- struct{}{} // hand the token back to the kernel
+	<-p.run             // wait for it again
 }
 
 // park blocks the process without scheduling a wakeup; something else must
@@ -299,8 +427,8 @@ func (p *Proc) Delay(d Cycles) {
 func (p *Proc) park(reason string) {
 	p.state = procBlocked
 	p.blockReason = reason
-	p.k.yield <- struct{}{}
-	<-p.resume
+	p.run <- struct{}{}
+	<-p.run
 }
 
 // unpark schedules p to resume at the current simulated time. It must be

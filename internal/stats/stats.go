@@ -49,11 +49,14 @@ func (s *Series) At(x float64) (float64, bool) {
 	return 0, false
 }
 
-// Summary holds order statistics of a sample set.
+// Summary holds order statistics of a sample set — the shape benchmark
+// reporting needs (min/median/p99/max) without ad-hoc math at the call
+// sites.
 type Summary struct {
 	N              int
 	Min, Max, Mean float64
 	Median         float64
+	P99            float64
 	StdDev         float64
 }
 
@@ -74,18 +77,44 @@ func Summarize(xs []float64) Summary {
 		d := x - mean
 		varSum += d * d
 	}
-	med := sorted[len(sorted)/2]
-	if len(sorted)%2 == 0 {
-		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
-	}
 	return Summary{
 		N:      len(sorted),
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		Mean:   mean,
-		Median: med,
+		Median: quantileSorted(sorted, 0.5),
+		P99:    quantileSorted(sorted, 0.99),
 		StdDev: math.Sqrt(varSum / float64(len(sorted))),
 	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the samples,
+// linearly interpolating between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted computes an interpolated quantile over an already
+// sorted sample set.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Table renders aligned columns for terminal output. The first row is

@@ -47,6 +47,34 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	// 1..100: quantiles interpolate over the order statistics.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.99, 99.01}, {-1, 1}, {2, 100},
+	} {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(1..100, %v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+	if Quantile([]float64{7}, 0.99) != 7 {
+		t.Error("single-sample quantile != the sample")
+	}
+	s := Summarize(xs)
+	if s.P99 != Quantile(xs, 0.99) {
+		t.Errorf("Summary.P99 = %v, want %v", s.P99, Quantile(xs, 0.99))
+	}
+	if s.Min > s.Median || s.Median > s.P99 || s.P99 > s.Max {
+		t.Errorf("order statistics out of order: %+v", s)
+	}
+}
+
 func TestTable(t *testing.T) {
 	out := Table([][]string{{"size", "MB/s"}, {"32", "1.5"}, {"65536", "27.0"}})
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
