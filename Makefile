@@ -1,12 +1,17 @@
 # Build/test entry points for the vSCC reproduction. `make check` is the
-# tier-1 gate: build + vet + race-enabled tests + a -benchtime=1x pass
-# over every benchmark so bitrotted benchmark code fails fast.
+# tier-1 gate: gofmt + build + vet + race-enabled tests + a -benchtime=1x
+# pass over every benchmark so bitrotted benchmark code fails fast.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-kernel check
+.PHONY: all fmt build vet test race bench bench-kernel check
 
 all: check
+
+# Fail listing any file gofmt would rewrite.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -30,4 +35,4 @@ bench-kernel:
 	$(GO) test ./internal/sim -run='^$$' -bench=KernelEventThroughput -benchmem
 	$(GO) run ./cmd/simbench
 
-check: build vet race bench
+check: fmt build vet race bench

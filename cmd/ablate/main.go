@@ -19,8 +19,11 @@ func main() {
 	size := flag.Int("size", 65536, "message size for throughput ablations [B]")
 	reps := flag.Int("reps", 3, "round trips per measurement")
 	parallel := flag.Int("parallel", 0, "sweep points run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the ping-pong ablations")
+	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per ablation point")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	obs := harness.EnableObservability(*traceOut, *metrics)
 
 	fmt.Println("== ablation: SIF prefetch streaming (LP/RG + cache) ==")
 	on, off, err := harness.AblateSIFStreaming(*size, *reps)
@@ -70,6 +73,7 @@ func main() {
 		rows = append(rows, []string{s.String(), fmt.Sprintf("%.3f", bt[s])})
 	}
 	fmt.Print(stats.Table(rows))
+	check(obs.Finish(os.Stdout))
 }
 
 func printSweep(label string, keys []int, res map[int]float64) {

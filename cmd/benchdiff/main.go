@@ -1,0 +1,168 @@
+// Command benchdiff compares a `go test -bench` output against the
+// checked-in baseline (BENCH_kernel.json) and reports per-case deltas.
+// It exits non-zero when any case regresses beyond the tolerance, so CI
+// can surface performance drift; the workflow runs it as a non-blocking
+// warning step because shared runners are noisy.
+//
+// It knows the two baselined benchmarks:
+//
+//   - BenchmarkKernelEventThroughput/<case> against
+//     kernel_event_throughput.fastpath[<case>].ns_per_event
+//   - BenchmarkSweepParallel/<sweep>/parallel-<N> against
+//     sweep_parallel_wall_clock[<sweep>]["parallel-<N>"]
+//
+// Usage:
+//
+//	go test ./internal/sim -bench=KernelEventThroughput -benchtime=1x | benchdiff
+//	benchdiff -baseline BENCH_kernel.json -tolerance 0.20 bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the parts of BENCH_kernel.json benchdiff consumes.
+type baseline struct {
+	KernelEventThroughput struct {
+		Fastpath map[string]struct {
+			NsPerEvent float64 `json:"ns_per_event"`
+		} `json:"fastpath"`
+	} `json:"kernel_event_throughput"`
+	// The sweep section mixes float maps with descriptive strings, so
+	// entries are decoded individually and non-maps skipped.
+	SweepParallelWallClock map[string]json.RawMessage `json:"sweep_parallel_wall_clock"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	name string
+	nsOp float64
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_kernel.json", "baseline file")
+	tolerance := flag.Float64("tolerance", 0.20, "relative regression allowed before failing (0.20 = +20%)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		check(err)
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-tolerance frac] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	check(err)
+	var base baseline
+	check(json.Unmarshal(raw, &base))
+	want := map[string]float64{}
+	for c, v := range base.KernelEventThroughput.Fastpath {
+		want["KernelEventThroughput/"+c] = v.NsPerEvent
+	}
+	for sweep, rawEntry := range base.SweepParallelWallClock {
+		var m map[string]float64
+		if json.Unmarshal(rawEntry, &m) != nil {
+			continue // "benchmark", "units", "note" strings
+		}
+		for par, ns := range m {
+			want["SweepParallel/"+sweep+"/"+par] = ns
+		}
+	}
+
+	results := parseBench(in)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found in input")
+		os.Exit(2)
+	}
+
+	regressions := 0
+	compared := 0
+	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "measured ns/op", "delta")
+	for _, r := range results {
+		b, ok := want[r.name]
+		if !ok {
+			// On multi-proc hosts go test appends "-<GOMAXPROCS>"; on a
+			// 1-proc host it does not, and stripping eagerly would eat
+			// real numeric suffixes like deep-queue-1024.
+			b, ok = want[stripProcs(r.name)]
+			if !ok {
+				continue
+			}
+		}
+		compared++
+		delta := r.nsOp/b - 1
+		mark := ""
+		if delta > *tolerance {
+			mark = "  REGRESSION"
+			regressions++
+		} else if delta < -*tolerance {
+			mark = "  improved"
+		}
+		fmt.Printf("%-52s %14.2f %14.2f %+7.1f%%%s\n", r.name, b, r.nsOp, 100*delta, mark)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: input contained no baselined benchmarks")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d case(s) regressed beyond %.0f%% of %s\n", regressions, 100**tolerance, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d compared case(s) within %.0f%% of %s\n", compared, 100**tolerance, *baselinePath)
+}
+
+// stripProcs removes a trailing "-<number>" (the GOMAXPROCS suffix).
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench extracts (name, ns/op) pairs from `go test -bench` output;
+// names lose their "Benchmark" prefix so they match the baseline keys.
+func parseBench(in io.Reader) []result {
+	var out []result
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		nsOp := -1.0
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				if v, err := strconv.ParseFloat(fields[i-1], 64); err == nil {
+					nsOp = v
+				}
+				break
+			}
+		}
+		if nsOp < 0 {
+			continue
+		}
+		out = append(out, result{name: name, nsOp: nsOp})
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

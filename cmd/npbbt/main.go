@@ -30,8 +30,11 @@ func main() {
 	best := flag.Bool("best", true, "run the optimal configuration (vDMA)")
 	worst := flag.Bool("worst", true, "run the worst configuration (transparent routing)")
 	parallel := flag.Int("parallel", 0, "rank counts run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of every run")
+	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per run")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	obs := harness.EnableObservability(*traceOut, *metrics)
 
 	class, err := npb.ClassByName(*className)
 	check(err)
@@ -97,6 +100,7 @@ func main() {
 	fmt.Print(stats.Table(rows))
 	fmt.Println()
 	fmt.Print(stats.RenderSeries("NPB "+strings.ToUpper(*app)+" scalability", "processes", "GFLOP/s", series, 64, 14))
+	check(obs.Finish(os.Stdout))
 }
 
 func check(err error) {

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"vscc/internal/harness"
 	"vscc/internal/ircce"
@@ -34,12 +36,24 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render Fig. 2 style protocol timelines")
 	reps := flag.Int("reps", 3, "round trips per measurement")
 	parallel := flag.Int("parallel", 0, "sweep points run concurrently (0 = GOMAXPROCS, 1 = serial)")
+	sizesFlag := flag.String("sizes", "", "comma-separated message sizes [B] (default: the Fig. 6 sweep)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of every measured point")
+	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per measured point")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	obs := harness.EnableObservability(*traceOut, *metrics)
 	if !*onchip && !*inter && !*claims && !*timeline {
 		*onchip, *inter = true, true
 	}
 	sizes := harness.Sizes6()
+	if *sizesFlag != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			check(err)
+			sizes = append(sizes, n)
+		}
+	}
 
 	if *onchip {
 		rccePts, err := harness.OnChipPingPong(nil, 0, 1, sizes, *reps)
@@ -108,6 +122,8 @@ func main() {
 		fmt.Println("-- iRCCE pipelined:")
 		fmt.Print(renderTimeline(&ircce.PipelinedProtocol{}))
 	}
+
+	check(obs.Finish(os.Stdout))
 }
 
 // renderTimeline runs one 64 kB transfer and renders the recorded spans.

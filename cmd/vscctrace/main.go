@@ -1,0 +1,185 @@
+// Command vscctrace inspects a Chrome trace-event JSON file written by
+// the -trace flag of cmd/pingpong, cmd/npbbt or cmd/ablate — a
+// terminal-side answer to "what is in this trace" without loading
+// about://tracing or Perfetto.
+//
+// For every process (one per capture/subsystem pair) it prints the
+// thread rows with their span counts and busy cycles, the top span
+// names by total duration, and the final counter values.
+//
+// Usage:
+//
+//	vscctrace trace.json
+//	vscctrace -top 5 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// event is the subset of the Chrome trace-event fields the exporter
+// emits (chrome.go): metadata (M), complete spans (X), instants (i) and
+// counters (C).
+type event struct {
+	Ph   string `json:"ph"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Ts   uint64 `json:"ts"`
+	Dur  uint64 `json:"dur"`
+	Name string `json:"name"`
+	Args struct {
+		Name  string `json:"name"`
+		Value int64  `json:"value"`
+	} `json:"args"`
+}
+
+type document struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+// thread aggregates one tid's rows.
+type thread struct {
+	name     string
+	spans    int
+	busy     uint64
+	instants int
+}
+
+// process aggregates one pid.
+type process struct {
+	pid      int
+	name     string
+	threads  map[int]*thread
+	spanDur  map[string]uint64 // total duration by span name
+	spanCnt  map[string]int
+	counters map[string]int64 // final value by counter name
+	order    []string         // counter first-appearance order
+}
+
+func main() {
+	top := flag.Int("top", 10, "span names to list per process, by total duration")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] trace.json")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	check(err)
+	defer f.Close()
+	var doc document
+	check(json.NewDecoder(f).Decode(&doc))
+
+	procs := map[int]*process{}
+	get := func(pid int) *process {
+		p, ok := procs[pid]
+		if !ok {
+			p = &process{
+				pid: pid, threads: map[int]*thread{},
+				spanDur: map[string]uint64{}, spanCnt: map[string]int{},
+				counters: map[string]int64{},
+			}
+			procs[pid] = p
+		}
+		return p
+	}
+	getThread := func(p *process, tid int) *thread {
+		t, ok := p.threads[tid]
+		if !ok {
+			t = &thread{}
+			p.threads[tid] = t
+		}
+		return t
+	}
+	for _, ev := range doc.TraceEvents {
+		p := get(ev.Pid)
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				p.name = ev.Args.Name
+			case "thread_name":
+				getThread(p, ev.Tid).name = ev.Args.Name
+			}
+		case "X":
+			t := getThread(p, ev.Tid)
+			t.spans++
+			t.busy += ev.Dur
+			p.spanCnt[ev.Name]++
+			p.spanDur[ev.Name] += ev.Dur
+		case "i":
+			getThread(p, ev.Tid).instants++
+		case "C":
+			if _, ok := p.counters[ev.Name]; !ok {
+				p.order = append(p.order, ev.Name)
+			}
+			// Events are time-ordered per counter, so the last sample
+			// wins — the final value.
+			p.counters[ev.Name] = ev.Args.Value
+		}
+	}
+
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	fmt.Printf("%s: %d events, %d processes\n", flag.Arg(0), len(doc.TraceEvents), len(pids))
+	for _, pid := range pids {
+		p := procs[pid]
+		fmt.Printf("\npid %d: %s\n", pid, p.name)
+		tids := make([]int, 0, len(p.threads))
+		for tid := range p.threads {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			t := p.threads[tid]
+			if t.spans == 0 && t.instants == 0 && t.name == "" {
+				continue
+			}
+			fmt.Printf("  tid %-3d %-24s spans=%-7d busy=%-12d", tid, t.name, t.spans, t.busy)
+			if t.instants > 0 {
+				fmt.Printf(" instants=%d", t.instants)
+			}
+			fmt.Println()
+		}
+		if len(p.spanDur) > 0 {
+			names := make([]string, 0, len(p.spanDur))
+			for n := range p.spanDur {
+				names = append(names, n)
+			}
+			sort.Slice(names, func(i, j int) bool {
+				if p.spanDur[names[i]] != p.spanDur[names[j]] {
+					return p.spanDur[names[i]] > p.spanDur[names[j]]
+				}
+				return names[i] < names[j]
+			})
+			if len(names) > *top {
+				names = names[:*top]
+			}
+			fmt.Println("  top spans by total duration:")
+			for _, n := range names {
+				fmt.Printf("    %-32s n=%-7d total=%d cycles\n", n, p.spanCnt[n], p.spanDur[n])
+			}
+		}
+		if len(p.order) > 0 {
+			names := append([]string(nil), p.order...)
+			sort.Strings(names)
+			fmt.Println("  final counters:")
+			for _, n := range names {
+				fmt.Printf("    %-36s %12d\n", n, p.counters[n])
+			}
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vscctrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"vscc/internal/host"
 	"vscc/internal/npb"
 	"vscc/internal/rcce"
@@ -18,7 +20,7 @@ import (
 // interDevicePingPongWith measures cross-device ping-pong under an
 // arbitrary system configuration.
 func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPongPoint, error) {
-	return PingPongSweep(func(int) func() (*rcce.Session, error) {
+	return PingPongSweep(func(size int) func() (*rcce.Session, error) {
 		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			c := cfg
@@ -27,9 +29,30 @@ func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPong
 			if err != nil {
 				return nil, err
 			}
-			return sys.NewSession(96)
+			sink := observe(ablateLabel(c, size), k)
+			sys.Instrument(sink)
+			return sys.NewSession(96, rcce.WithSink(sink))
 		}
 	}, 0, 48, sizes, reps)
+}
+
+// ablateLabel names one ablation point for the trace collector. Grid
+// points share a scheme and size but differ in their tuning knobs, so
+// the label spells out every non-default knob to keep capture names
+// unique (the collector sorts its captures by name; duplicates would
+// make the merged export depend on worker completion order).
+func ablateLabel(c vscc.Config, size int) string {
+	l := "ablate/" + c.Scheme.Key()
+	if c.DirectThreshold != 0 {
+		l += fmt.Sprintf("/thr=%06d", c.DirectThreshold)
+	}
+	if c.VDMASlotBytes != 0 {
+		l += fmt.Sprintf("/slot=%06d", c.VDMASlotBytes)
+	}
+	if hp := c.HostParams; hp != nil {
+		l += fmt.Sprintf("/sif=%04d/wcb=%06d/burst=%06d", hp.SIFBufferLines, hp.WCBFlushBytes, hp.DMABurstBytes)
+	}
+	return l + fmt.Sprintf("/size=%07d", size)
 }
 
 // AblationSweep measures one throughput number per parameter value, each

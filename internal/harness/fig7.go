@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vscc/internal/npb"
+	"vscc/internal/rcce"
 	"vscc/internal/sim"
 	"vscc/internal/vscc"
 )
@@ -63,7 +64,9 @@ func BTRun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 	if err != nil {
 		return BTPoint{}, err
 	}
-	session, err := sys.NewSession(ranks)
+	sink := observe(fmt.Sprintf("fig7/bt/%s/ranks=%03d", cfg.Scheme.Key(), ranks), k)
+	sys.Instrument(sink)
+	session, err := sys.NewSession(ranks, rcce.WithSink(sink))
 	if err != nil {
 		return BTPoint{}, err
 	}
@@ -99,7 +102,9 @@ func LURun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 	if err != nil {
 		return BTPoint{}, err
 	}
-	session, err := sys.NewSession(ranks)
+	sink := observe(fmt.Sprintf("fig7/lu/%s/ranks=%03d", cfg.Scheme.Key(), ranks), k)
+	sys.Instrument(sink)
+	session, err := sys.NewSession(ranks, rcce.WithSink(sink))
 	if err != nil {
 		return BTPoint{}, err
 	}

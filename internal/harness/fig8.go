@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"vscc/internal/npb"
 	"vscc/internal/rcce"
 	"vscc/internal/sim"
@@ -37,7 +39,9 @@ func CaptureTraffic(cfg TrafficConfig) (*trace.Matrix, error) {
 	}
 	scale := cfg.ScaleTo / cfg.Iterations
 	m := trace.NewMatrix(cfg.Ranks, 48)
-	session, err := sys.NewSession(cfg.Ranks, rcce.WithTrafficObserver(func(src, dest, bytes int) {
+	sink := observe(fmt.Sprintf("fig8/bt/%s/ranks=%03d", cfg.Scheme.Key(), cfg.Ranks), k)
+	sys.Instrument(sink)
+	session, err := sys.NewSession(cfg.Ranks, rcce.WithSink(sink), rcce.WithTrafficObserver(func(src, dest, bytes int) {
 		m.Record(src, dest, bytes*scale)
 	}))
 	if err != nil {

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+)
+
+// Observer creates the observability sink for one labelled simulation
+// point — typically (*trace.Collector).New, which registers the sink so
+// a sweep's captures can be exported together. Returning nil disables
+// tracing for that point.
+//
+// Labels are hierarchical and zero-padded (fig6b/vdma/size=0001024,
+// fig7/bt/vdma/ranks=016) so that the collector's name-sorted captures
+// line up with the sweep's natural order regardless of how a parallel
+// sweep's workers finish.
+type Observer func(label string, k *sim.Kernel) *trace.Sink
+
+// observer holds the installed hook; atomic because sweep workers read
+// it concurrently with SetObserver callers.
+var observer atomic.Value // of Observer
+
+// SetObserver installs (or, with nil, removes) the process-wide sink
+// factory consulted by every harness measurement. It returns the
+// previous observer so tests can restore it.
+func SetObserver(fn Observer) Observer {
+	prev, _ := observer.Swap(fn).(Observer)
+	return prev
+}
+
+// observe asks the installed observer (if any) for a sink. A nil return
+// — no observer, or the observer declined — disables tracing: every
+// sink method is a nil-receiver no-op.
+func observe(label string, k *sim.Kernel) *trace.Sink {
+	fn, _ := observer.Load().(Observer)
+	if fn == nil {
+		return nil
+	}
+	return fn(label, k)
+}

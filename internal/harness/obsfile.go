@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vscc/internal/trace"
+)
+
+// Obs owns the observability outputs of one command invocation: the
+// collector installed as the harness observer, the Chrome trace path,
+// and whether to print the metrics reports.
+type Obs struct {
+	col       *trace.Collector
+	tracePath string
+	metrics   bool
+}
+
+// EnableObservability installs a trace collector as the harness
+// observer when either output was requested and returns the handle to
+// Finish with. When neither was, it returns nil and tracing stays fully
+// disabled — every measurement runs with a nil sink.
+func EnableObservability(tracePath string, metrics bool) *Obs {
+	if tracePath == "" && !metrics {
+		return nil
+	}
+	o := &Obs{col: &trace.Collector{}, tracePath: tracePath, metrics: metrics}
+	SetObserver(o.col.New)
+	return o
+}
+
+// Finish emits the requested outputs: metrics reports to w and/or the
+// Chrome trace-event JSON file. Safe on a nil receiver (no-op), so
+// commands call it unconditionally.
+func (o *Obs) Finish(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	caps := o.col.Captures()
+	if o.metrics {
+		if _, err := fmt.Fprint(w, trace.Report(caps)); err != nil {
+			return err
+		}
+	}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, caps); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -100,15 +100,20 @@ func PingPongSweep(mk func(size int) func() (*rcce.Session, error), a, b int, si
 // stateful protocols (iRCCE pipelined) are bound to one session. cores
 // picks the pair; the paper's best case uses adjacent cores.
 func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int, reps int) ([]PingPongPoint, error) {
-	pts, err := PingPongSweep(func(int) func() (*rcce.Session, error) {
+	pts, err := PingPongSweep(func(size int) func() (*rcce.Session, error) {
 		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			chip := scc.NewChip(k, 0, scc.DefaultParams())
 			places := []rcce.Place{{Dev: 0, Core: coreA}, {Dev: 0, Core: coreB}}
 			var opts []rcce.Option
+			protoName := "rcce"
 			if newProto != nil {
-				opts = append(opts, rcce.WithProtocol(newProto()))
+				proto := newProto()
+				protoName = proto.Name()
+				opts = append(opts, rcce.WithProtocol(proto))
 			}
+			sink := observe(fmt.Sprintf("fig6a/%s/size=%07d", protoName, size), k)
+			opts = append(opts, rcce.WithSink(sink))
 			return rcce.NewSession(k, []*scc.Chip{chip}, places, opts...)
 		}
 	}, 0, 1, sizes, reps)
@@ -121,14 +126,16 @@ func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int
 // InterDevicePingPong measures cross-device ping-pong (rank 0 on device
 // 0 against rank 48 on device 1) under a vSCC scheme.
 func InterDevicePingPong(scheme vscc.Scheme, sizes []int, reps int) ([]PingPongPoint, error) {
-	pts, err := PingPongSweep(func(int) func() (*rcce.Session, error) {
+	pts, err := PingPongSweep(func(size int) func() (*rcce.Session, error) {
 		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
 			sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme})
 			if err != nil {
 				return nil, err
 			}
-			return sys.NewSession(96)
+			sink := observe(fmt.Sprintf("fig6b/%s/size=%07d", scheme.Key(), size), k)
+			sys.Instrument(sink)
+			return sys.NewSession(96, rcce.WithSink(sink))
 		}
 	}, 0, 48, sizes, reps)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"vscc/internal/pcie"
 	"vscc/internal/scc"
 	"vscc/internal/sim"
+	"vscc/internal/trace"
 )
 
 // Params tunes the communication task beyond the fabric timing.
@@ -112,6 +113,15 @@ type Task struct {
 	vdmaChans map[[2]int]*vdmaChannel
 
 	stats Stats
+
+	// Observability (nil sink = disabled, zero overhead). fwdTracks
+	// carries the per-device forwarder-daemon occupancy tracks; wcbGauges
+	// the per-device in-flight flush-burst gauge names; vdmaInflight the
+	// current vDMA queue occupancy.
+	sink         *trace.Sink
+	fwdTracks    []trace.Track
+	wcbGauges    []string
+	vdmaInflight int64
 }
 
 // Statically assert the port contract.
@@ -179,10 +189,29 @@ func (t *Task) Register(rg *Region) error {
 // Stats returns a snapshot of the activity counters.
 func (t *Task) Stats() Stats { return t.stats }
 
+// Instrument attaches an observability sink: the communication task then
+// records software-cache hits and misses, SIF packets, PCIe round trips,
+// WCB flush sizes, vDMA queue occupancy, and per-device forwarder-thread
+// occupancy spans. Passing a nil sink disables recording.
+func (t *Task) Instrument(s *trace.Sink) {
+	t.fwdTracks = t.fwdTracks[:0]
+	t.wcbGauges = t.wcbGauges[:0]
+	if !s.Enabled() {
+		t.sink = nil
+		return
+	}
+	t.sink = s
+	for d := range t.Chips {
+		t.fwdTracks = append(t.fwdTracks, s.Track("commtask", fmt.Sprintf("d%d", d)))
+		t.wcbGauges = append(t.wcbGauges, fmt.Sprintf("host.wcb_pending.d%d", d))
+	}
+}
+
 // meshToSIF charges the on-chip trip from a core to the system
 // interface tile.
 func (t *Task) meshToSIF(p *sim.Proc, srcDev, srcCore, bytes int) {
 	chip := t.Chips[srcDev]
+	t.sink.Add("pcie.sif_packets", 1)
 	p.Delay(chip.Mesh.TransferLatency(scc.CoreCoord(srcCore), scc.SIFCoord, bytes))
 }
 
@@ -197,6 +226,7 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 		p.Delay(t.Params.SIFHitCycles)
 		copy(buf, data)
 		t.stats.SIFHits++
+		t.sink.Add("host.sif_hit", 1)
 		return
 	}
 	rg := t.regions.find(dev, tile, off)
@@ -217,6 +247,7 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 				p.Delay(t.Params.SIFHitCycles)
 				copy(buf, data)
 				t.stats.SIFHits++
+				t.sink.Add("host.sif_hit", 1)
 				return
 			}
 		}
@@ -236,8 +267,11 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 			t.startStream(srcDev, rg, off+mem.LineSize)
 			link.H2D.Transfer(p, t.Params.RespBytes)
 			t.stats.CachedReads++
+			t.sink.Add("host.cache_hit", 1)
+			t.sink.Add("pcie.round_trips", 1)
 			return
 		}
+		t.sink.Add("host.cache_miss", 1)
 	}
 	// Transparent forward to the owning device.
 	tl := t.Fabric.Link(dev)
@@ -249,6 +283,8 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 	link.H2D.Transfer(p, t.Params.RespBytes)
 	copy(buf, line[:])
 	t.stats.ForwardedReads++
+	t.sink.Add("host.forwarded_read", 1)
+	t.sink.Add("pcie.round_trips", 2)
 }
 
 // startStream begins (or leaves running) a prefetch stream into a
@@ -297,6 +333,7 @@ func (t *Task) runStream(sp *sim.Proc, st *stream) {
 			sb.insert(key, data)
 		})
 		t.stats.StreamedLines++
+		t.sink.Add("host.streamed_lines", 1)
 	}
 	st.active = false
 	sb.cond.Broadcast()
@@ -321,6 +358,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 			t.maybeFlushWCB(w, false)
 		})
 		t.stats.PostedWrites++
+		t.sink.Add("host.wcb_write", 1)
 		return
 	}
 	isFlag := rg != nil && rg.Kind == KindFlag
@@ -335,6 +373,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 			t.enqueueDeliver(dev, tile, off, d, mask, true)
 		})
 		t.stats.PostedWrites++
+		t.sink.Add("host.posted_write", 1)
 		return
 	}
 	switch t.Fabric.Ack {
@@ -347,6 +386,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 			t.enqueueDeliver(dev, tile, off, d, mask, isFlag)
 		})
 		t.stats.PostedWrites++
+		t.sink.Add("host.posted_write", 1)
 	case pcie.AckHost:
 		// The communication task acknowledges data writes on receipt;
 		// delivery to the target device continues asynchronously.
@@ -355,6 +395,8 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		t.enqueueDeliver(dev, tile, off, snapshot(data), mask, isFlag)
 		link.H2D.Transfer(p, t.Params.AckBytes)
 		t.stats.SyncWrites++
+		t.sink.Add("host.sync_write", 1)
+		t.sink.Add("pcie.round_trips", 1)
 	case pcie.AckRemote:
 		// Transparent routing: the acknowledge comes back from the
 		// remote device — the previous prototype's two-round-trip path.
@@ -370,6 +412,8 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		p.Delay(t.Fabric.Params.HostOpCycles)
 		link.H2D.Transfer(p, t.Params.AckBytes)
 		t.stats.SyncWrites++
+		t.sink.Add("host.sync_write", 1)
+		t.sink.Add("pcie.round_trips", 2)
 	}
 }
 
@@ -396,6 +440,7 @@ func (t *Task) runForwarder(p *sim.Proc, dev int) {
 	h2d := t.Fabric.Link(dev).H2D
 	for {
 		item := q.Pop(p)
+		t0 := p.Now()
 		if item.isFlag {
 			t.fence(p, dev)
 		}
@@ -403,6 +448,15 @@ func (t *Task) runForwarder(p *sim.Proc, dev int) {
 		h2d.TransferAsync(p, mem.LineSize, func() {
 			t.deliver(dev, it.tile, it.off, it.data, it.mask)
 		})
+		// Per-thread occupancy: how long this daemon thread was busy with
+		// the item (including any flag fence), the §3.2 tuning signal.
+		if t.sink != nil {
+			name := "deliver"
+			if item.isFlag {
+				name = "deliver-flag"
+			}
+			t.sink.Span(t.fwdTracks[dev], name, t0, p.Now())
+		}
 	}
 }
 
@@ -454,6 +508,7 @@ func (t *Task) fence(p *sim.Proc, dev int) {
 		t.wcbCond[dev].Wait(p)
 	}
 	t.stats.FlagFences++
+	t.sink.Add("host.flag_fence", 1)
 }
 
 // --- write combining ----------------------------------------------------
@@ -485,10 +540,18 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 	// Count the bursts against the flag fence *now*, so a flag delivery
 	// processed in the same instant cannot slip past the data.
 	bursts := 0
+	flushBytes := 0
 	for _, span := range spans {
 		bursts += (len(span.data) + t.Params.DMABurstBytes - 1) / t.Params.DMABurstBytes
+		flushBytes += len(span.data)
 	}
 	t.wcbPending[dev] += bursts
+	if t.sink != nil {
+		t.sink.Add("host.wcb_flush", 1)
+		t.sink.Add("host.dma_bursts", int64(bursts))
+		t.sink.Observe("host.wcb_flush_bytes", float64(flushBytes))
+		t.sink.Gauge(t.wcbGauges[dev], int64(t.wcbPending[dev]))
+	}
 	t.Kernel.Spawn(fmt.Sprintf("wcbflush.d%d", dev), func(fp *sim.Proc) {
 		// Each flush programs one DMA descriptor on the host.
 		fp.Delay(t.Fabric.Params.DMASetupCycles)
@@ -504,6 +567,9 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 				h2d.TransferAsync(fp, n+t.Params.StreamHeaderBytes, func() {
 					t.deliverBulk(dev, w.rg.Tile, off, data)
 					t.wcbPending[dev]--
+					if t.sink != nil {
+						t.sink.Gauge(t.wcbGauges[dev], int64(t.wcbPending[dev]))
+					}
 					t.wcbCond[dev].Broadcast()
 				})
 			}
@@ -562,6 +628,9 @@ func (t *Task) execute(cmd BankCommand) {
 		ch := t.vdmaChannel(cmd.SrcDev, cmd.SrcCore)
 		ticket := ch.nextTicket
 		ch.nextTicket++
+		t.vdmaInflight++
+		t.sink.Add("host.vdma_copy", 1)
+		t.sink.Gauge("host.vdma_inflight", t.vdmaInflight)
 		t.Kernel.Spawn("vdma.copy", func(p *sim.Proc) { t.runVDMA(p, cmd, ch, ticket) })
 	case CmdUpdate:
 		srcTile := scc.CoreTile(cmd.SrcCore)
@@ -574,6 +643,7 @@ func (t *Task) execute(cmd BankCommand) {
 			e.hotEnd = end
 		}
 		t.stats.Prefetches++
+		t.sink.Add("host.prefetch", 1)
 		t.Kernel.Spawn("prefetch", func(p *sim.Proc) { t.runPrefetch(p, rg, cmd.SrcOff, cmd.Count) })
 	case CmdInvalidate:
 		srcTile := scc.CoreTile(cmd.SrcCore)
@@ -629,6 +699,7 @@ func (t *Task) runPrefetch(p *sim.Proc, rg *Region, off, count int) {
 		}
 		oo, nn := o, n
 		e.pending++
+		t.sink.Add("host.dma_bursts", 1)
 		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
 			rel := oo - rg.Off
 			t.Chips[rg.Dev].HostReadLMB(rg.Tile, oo, e.data[rel:rel+nn])
@@ -675,6 +746,7 @@ func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uin
 		do := cmd.DstOff + o
 		last := o+n >= cmd.Count
 		nn := n
+		t.sink.Add("host.dma_bursts", 1)
 		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
 			data := make([]byte, nn)
 			srcChip.HostReadLMB(srcTile, so, data)
@@ -710,6 +782,8 @@ func (t *Task) finishVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket 
 		})
 	}
 	ch.served = ticket + 1
+	t.vdmaInflight--
+	t.sink.Gauge("host.vdma_inflight", t.vdmaInflight)
 	ch.cond.Broadcast()
 }
 

@@ -2,8 +2,10 @@ package noc
 
 import (
 	"fmt"
+	"strconv"
 
 	"vscc/internal/sim"
+	"vscc/internal/trace"
 )
 
 // Link is a shared serial resource with a fixed per-transfer latency and a
@@ -27,6 +29,12 @@ type Link struct {
 	busyCycles    sim.Cycles
 	waitedCycles  sim.Cycles
 	maxQueueDelay sim.Cycles
+
+	// Observability (nil sink = disabled, zero overhead).
+	sink         *trace.Sink
+	track        trace.Track
+	bytesCounter string
+	queueHist    string
 }
 
 // NewLink creates a link. bytesPerCycle expresses bandwidth in payload
@@ -44,6 +52,29 @@ func NewLink(name string, latency sim.Cycles, bytesPerCycle float64) *Link {
 
 // Name returns the link's name.
 func (l *Link) Name() string { return l.name }
+
+// Instrument attaches an observability sink: every subsequent transfer
+// records a channel-occupancy span on the link's track, a cumulative byte
+// counter, and (when the channel was busy) a queueing-delay histogram
+// sample. A nil sink detaches.
+func (l *Link) Instrument(s *trace.Sink) {
+	l.sink = s
+	l.track = s.Track("noc", l.name)
+	if s.Enabled() {
+		l.bytesCounter = "noc." + l.name + ".bytes"
+		l.queueHist = "noc." + l.name + ".queue_cycles"
+	}
+}
+
+// record captures one reserved transfer on the attached sink. Callers
+// guard with l.sink.Enabled() so the disabled path allocates nothing.
+func (l *Link) record(bytes int, start, occ, queued sim.Cycles) {
+	l.sink.Span(l.track, "xfer "+strconv.Itoa(bytes)+"B", start, start+occ)
+	l.sink.Add(l.bytesCounter, int64(bytes))
+	if queued > 0 {
+		l.sink.Observe(l.queueHist, float64(queued))
+	}
+}
 
 // OccupancyFor returns the channel occupancy time for a payload.
 func (l *Link) OccupancyFor(bytes int) sim.Cycles {
@@ -73,6 +104,9 @@ func (l *Link) Transfer(p *sim.Proc, bytes int) sim.Cycles {
 	if queued > l.maxQueueDelay {
 		l.maxQueueDelay = queued
 	}
+	if l.sink.Enabled() {
+		l.record(bytes, start, occ, queued)
+	}
 	p.Delay(done - now)
 	return done - now
 }
@@ -99,6 +133,9 @@ func (l *Link) TransferAsync(p *sim.Proc, bytes int, onDelivered func()) {
 	l.waitedCycles += queued
 	if queued > l.maxQueueDelay {
 		l.maxQueueDelay = queued
+	}
+	if l.sink.Enabled() {
+		l.record(bytes, start, occ, queued)
 	}
 	if onDelivered != nil {
 		p.Kernel().At(deliveredAt, onDelivered)

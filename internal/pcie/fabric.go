@@ -21,6 +21,7 @@ import (
 
 	"vscc/internal/noc"
 	"vscc/internal/sim"
+	"vscc/internal/trace"
 )
 
 // AckMode selects who acknowledges an off-chip write.
@@ -117,6 +118,16 @@ func New(n int, params Params, ack AckMode) (*Fabric, error) {
 		})
 	}
 	return f, nil
+}
+
+// Instrument attaches an observability sink to every PCIe link, so each
+// direction of each device's connection gets its own occupancy track and
+// byte counter in the trace.
+func (f *Fabric) Instrument(s *trace.Sink) {
+	for _, dl := range f.links {
+		dl.D2H.Instrument(s)
+		dl.H2D.Instrument(s)
+	}
 }
 
 // NumDevices returns the number of connected devices.

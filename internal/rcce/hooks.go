@@ -109,3 +109,8 @@ func ScratchByteAt(i int) int {
 // ReportTraffic lets protocol extensions attribute delivered messages to
 // the session's traffic observer (used when a scheme bypasses Send).
 func (s *Session) ReportTraffic(src, dest, bytes int) { s.reportTraffic(src, dest, bytes) }
+
+// ReportFlagTraffic lets protocol extensions attribute a flag-byte store
+// to the observability sink's data-vs-flag traffic split (used when a
+// protocol writes flag bytes through the gory interface directly).
+func (s *Session) ReportFlagTraffic() { s.reportFlagWrite() }

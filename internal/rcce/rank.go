@@ -131,6 +131,7 @@ func (r *Rank) writeFlag(dest, off int, v byte) {
 	dev, tile, base := r.mpb(dest)
 	r.ctx.WriteMPB(dev, tile, base+off, []byte{v})
 	r.ctx.FlushWCB()
+	r.s.reportFlagWrite()
 }
 
 // waitClearFlag spins until the local flag at off is non-zero, then
@@ -140,6 +141,7 @@ func (r *Rank) waitClearFlag(off int) {
 	r.ctx.WaitFlag(tile, base+off, func(b byte) bool { return b != 0 })
 	r.ctx.WriteMPB(r.place(r.id).Dev, tile, base+off, []byte{0})
 	r.ctx.FlushWCB()
+	r.s.reportFlagWrite()
 }
 
 // Flag is a user-visible synchronization flag allocated from MPB space.

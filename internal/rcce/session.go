@@ -20,6 +20,7 @@ import (
 	"vscc/internal/mem"
 	"vscc/internal/scc"
 	"vscc/internal/sim"
+	"vscc/internal/trace"
 )
 
 // MaxRanks bounds a session; the vSCC grid of five devices has 240 cores.
@@ -54,6 +55,7 @@ type Session struct {
 
 	protocol Protocol
 	timeline *sim.Timeline
+	sink     *trace.Sink
 
 	// onTraffic, if set, observes every completed point-to-point message
 	// (used to build the paper's Fig. 8 traffic matrix).
@@ -79,6 +81,11 @@ func WithTimeline(t *sim.Timeline) Option { return func(s *Session) { s.timeline
 func WithTrafficObserver(fn func(src, dest, bytes int)) Option {
 	return func(s *Session) { s.onTraffic = fn }
 }
+
+// WithSink attaches an observability sink: the session then records the
+// message-size histogram and the data-versus-flag traffic split, and
+// protocol extensions (ircce, vscc) pick the sink up through Sink().
+func WithSink(sink *trace.Sink) Option { return func(s *Session) { s.sink = sink } }
 
 // NewSession creates a session over explicit placements. chips must be
 // indexed by device number and cover every Place.Dev.
@@ -170,6 +177,10 @@ func (s *Session) Protocol() Protocol { return s.protocol }
 // Timeline returns the session's timeline (may be nil).
 func (s *Session) Timeline() *sim.Timeline { return s.timeline }
 
+// Sink returns the session's observability sink (nil when tracing is
+// disabled; a nil sink's methods are no-ops).
+func (s *Session) Sink() *trace.Sink { return s.sink }
+
 // SameDevice reports whether two ranks share a device.
 func (s *Session) SameDevice(a, b int) bool { return s.places[a].Dev == s.places[b].Dev }
 
@@ -211,4 +222,14 @@ func (s *Session) reportTraffic(src, dest, bytes int) {
 	if s.onTraffic != nil {
 		s.onTraffic(src, dest, bytes)
 	}
+	s.sink.Add("rcce.msgs", 1)
+	s.sink.Add("rcce.data_bytes", int64(bytes))
+	s.sink.Observe("rcce.msg_size", float64(bytes))
+}
+
+// reportFlagWrite attributes one flag-byte store to the sink — the
+// "flag traffic" side of the data-vs-flag split.
+func (s *Session) reportFlagWrite() {
+	s.sink.Add("rcce.flag_writes", 1)
+	s.sink.Add("rcce.flag_bytes", 1)
 }

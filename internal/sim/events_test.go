@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// Events counts every dispatch — callbacks, same-cycle chains and
+// process resumptions — so the observability layer can report kernel
+// work alongside simulated time.
+func TestKernelEventsCounter(t *testing.T) {
+	k := NewKernel()
+	if k.Events() != 0 {
+		t.Fatalf("fresh kernel events = %d", k.Events())
+	}
+	for i := 0; i < 3; i++ {
+		k.After(Cycles(i+1), func() {})
+	}
+	// A same-cycle event exercises the bucket fast path.
+	k.After(1, func() { k.After(0, func() {}) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Events(); got != 5 {
+		t.Errorf("events = %d, want 5 (4 timed + 1 same-cycle)", got)
+	}
+
+	// Process delays dispatch through the same path.
+	k2 := NewKernel()
+	k2.Spawn("p", func(p *Proc) {
+		p.Delay(1)
+		p.Delay(1)
+	})
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Events() == 0 {
+		t.Error("process dispatches not counted")
+	}
+}

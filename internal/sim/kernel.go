@@ -134,9 +134,10 @@ func (s procState) String() string {
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
-	now   Cycles
-	seq   uint64
-	queue eventHeap
+	now        Cycles
+	seq        uint64
+	dispatched uint64
+	queue      eventHeap
 
 	// bucket holds the events due at exactly the current time, in
 	// (time, seq) order; head indexes the next one to dispatch. Events
@@ -162,6 +163,10 @@ func NewKernel() *Kernel {
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Cycles { return k.now }
+
+// Events returns the number of events dispatched since creation — the
+// kernel-level work metric the observability layer reports.
+func (k *Kernel) Events() uint64 { return k.dispatched }
 
 // Stop makes the current Run/RunFor/RunUntil return after the currently
 // executing event completes. It may be called from process context or
@@ -349,6 +354,7 @@ func (k *Kernel) run(limit Cycles, bounded bool) error {
 				k.bucket = append(k.bucket, k.queue.pop())
 			}
 		}
+		k.dispatched++
 		if e.fn != nil {
 			e.fn()
 		} else if err := k.dispatch(e.p); err != nil {

@@ -117,3 +117,56 @@ func TestPropertyMatrixConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A matrix with zero-traffic ranks (or no traffic at all) must render
+// and summarize without dividing by zero.
+func TestMatrixZeroTraffic(t *testing.T) {
+	m := NewMatrix(8, 4)
+	if m.Total() != 0 || m.InterDeviceBytes() != 0 {
+		t.Error("fresh matrix carries traffic")
+	}
+	if _, _, max := m.MaxPair(); max != 0 {
+		t.Errorf("max pair of empty matrix = %d", max)
+	}
+	if f := m.NeighborFraction(1); f != 0 {
+		t.Errorf("neighbor fraction of empty matrix = %v, want 0", f)
+	}
+	out := m.Render()
+	if !strings.Contains(out, "traffic matrix: 8 ranks, total 0.0 MB") {
+		t.Errorf("empty render header wrong:\n%s", out)
+	}
+	// Skip the two header lines; the grid itself must be all blank.
+	grid := strings.SplitN(out, "\n", 3)[2]
+	if strings.ContainsAny(grid, ".:+#") {
+		t.Errorf("empty matrix rendered non-blank cells:\n%s", out)
+	}
+	if got := m.CSV(); got != "src,dest,bytes\n" {
+		t.Errorf("empty csv = %q", got)
+	}
+	// One active pair among otherwise idle ranks: only that cell shades.
+	m.Record(2, 6, 512)
+	if got := strings.Count(m.Render(), "#"); got != 1 {
+		t.Errorf("single-pair render has %d max-intensity cells, want 1", got)
+	}
+}
+
+// Self-traffic (rank sending to itself) sits on the diagonal: counted
+// in totals, never inter-device, always within neighbour distance 0.
+func TestMatrixSelfTraffic(t *testing.T) {
+	m := NewMatrix(96, 48)
+	m.Record(5, 5, 1000)
+	m.Record(50, 50, 200)
+	if m.Bytes(5, 5) != 1000 || m.Total() != 1200 {
+		t.Errorf("self-traffic totals wrong: %d, %d", m.Bytes(5, 5), m.Total())
+	}
+	if m.InterDeviceBytes() != 0 {
+		t.Errorf("self-traffic counted as inter-device: %d", m.InterDeviceBytes())
+	}
+	if f := m.NeighborFraction(0); f != 1 {
+		t.Errorf("self-traffic neighbour fraction = %v, want 1", f)
+	}
+	src, dest, max := m.MaxPair()
+	if src != 5 || dest != 5 || max != 1000 {
+		t.Errorf("max pair = %d->%d %d, want diagonal 5->5 1000", src, dest, max)
+	}
+}

@@ -64,6 +64,16 @@ func (ip *interDeviceProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 	if len(data) == 0 {
 		return
 	}
+	// Per-scheme message-size histogram of the inter-device traffic, plus
+	// the direct-vs-engaged split of the §3.3 threshold.
+	if sink := r.Session().Sink(); sink.Enabled() {
+		sink.Observe("vscc."+ip.scheme.Key()+".msg_size", float64(len(data)))
+		if ip.threshold > 0 && len(data) <= ip.threshold {
+			sink.Add("vscc.direct_sends", 1)
+		} else {
+			sink.Add("vscc.engaged_sends", 1)
+		}
+	}
 	if ip.threshold > 0 && len(data) <= ip.threshold {
 		ip.directSend(r, dest, data)
 		return

@@ -27,6 +27,7 @@ import (
 	"vscc/internal/rcce"
 	"vscc/internal/scc"
 	"vscc/internal/sim"
+	"vscc/internal/trace"
 )
 
 // Scheme selects the inter-device communication scheme.
@@ -57,6 +58,26 @@ func (s Scheme) String() string {
 		return "remote put + write combining"
 	case SchemeVDMA:
 		return "local put/local get + vDMA"
+	}
+	return "invalid"
+}
+
+// Key returns a short stable identifier for file names, metric names and
+// sweep labels (the String form carries spaces and slashes).
+func (s Scheme) Key() string {
+	switch s {
+	case SchemeRouting:
+		return "routing"
+	case SchemeHostRouted:
+		return "host-routed"
+	case SchemeHWAccel:
+		return "hw-accel"
+	case SchemeCachedGet:
+		return "cached-get"
+	case SchemeRemotePut:
+		return "remote-put"
+	case SchemeVDMA:
+		return "vdma"
 	}
 	return "invalid"
 }
@@ -179,6 +200,14 @@ func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{Kernel: k, Config: cfg, Chips: chips, Fabric: fabric, Task: task}, nil
+}
+
+// Instrument attaches an observability sink to the whole system: every
+// PCIe link and the communication task record into it. Sessions pick the
+// sink up separately through rcce.WithSink. A nil sink disables.
+func (s *System) Instrument(sink *trace.Sink) {
+	s.Fabric.Instrument(sink)
+	s.Task.Instrument(sink)
 }
 
 // TotalCores returns the number of available cores across all devices.
