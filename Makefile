@@ -1,10 +1,11 @@
 # Build/test entry points for the vSCC reproduction. `make check` is the
-# tier-1 gate: gofmt + build + vet + race-enabled tests + a -benchtime=1x
-# pass over every benchmark so bitrotted benchmark code fails fast.
+# tier-1 gate: gofmt + build + vet + lint + race-enabled tests + a
+# -benchtime=1x pass over every benchmark so bitrotted benchmark code
+# fails fast.
 
 GO ?= go
 
-.PHONY: all fmt build vet test race bench bench-kernel check
+.PHONY: all fmt build vet lint test race bench bench-kernel check
 
 all: check
 
@@ -18,6 +19,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (kernelclock, goryorder, flagdiscipline,
+# tracealloc, simapi) — see `go run ./cmd/vsccvet -rules` and DESIGN.md.
+lint:
+	$(GO) run ./cmd/vsccvet ./...
 
 test:
 	$(GO) test ./...
@@ -35,4 +41,4 @@ bench-kernel:
 	$(GO) test ./internal/sim -run='^$$' -bench=KernelEventThroughput -benchmem
 	$(GO) run ./cmd/simbench
 
-check: fmt build vet race bench
+check: fmt build vet lint race bench

@@ -21,8 +21,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep points run concurrently (0 = GOMAXPROCS, 1 = serial)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the ping-pong ablations")
 	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per ablation point")
+	checkMode := flag.Bool("check", false, "run with the MPB consistency checker (panics on stale-line reads)")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	harness.SetConsistencyCheck(*checkMode)
 	obs := harness.EnableObservability(*traceOut, *metrics)
 
 	fmt.Println("== ablation: SIF prefetch streaming (LP/RG + cache) ==")

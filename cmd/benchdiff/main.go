@@ -47,48 +47,50 @@ type result struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_kernel.json", "baseline file")
-	tolerance := flag.Float64("tolerance", 0.20, "relative regression allowed before failing (0.20 = +20%)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
-		check(err)
+// run is the whole program behind the process boundary: 0 = all
+// compared cases within tolerance, 1 = at least one regression, 2 =
+// usage or input error. Split from main so the exit policy is testable.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_kernel.json", "baseline file")
+	tolerance := fs.Float64("tolerance", 0.20, "relative regression allowed before failing (0.20 = +20%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
 		defer f.Close()
 		in = f
-	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-tolerance frac] [bench-output.txt]")
-		os.Exit(2)
+	} else if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-baseline file] [-tolerance frac] [bench-output.txt]")
+		return 2
 	}
 
-	raw, err := os.ReadFile(*baselinePath)
-	check(err)
-	var base baseline
-	check(json.Unmarshal(raw, &base))
-	want := map[string]float64{}
-	for c, v := range base.KernelEventThroughput.Fastpath {
-		want["KernelEventThroughput/"+c] = v.NsPerEvent
-	}
-	for sweep, rawEntry := range base.SweepParallelWallClock {
-		var m map[string]float64
-		if json.Unmarshal(rawEntry, &m) != nil {
-			continue // "benchmark", "units", "note" strings
-		}
-		for par, ns := range m {
-			want["SweepParallel/"+sweep+"/"+par] = ns
-		}
+	want, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
 	results := parseBench(in)
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found in input")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found in input")
+		return 2
 	}
 
 	regressions := 0
 	compared := 0
-	fmt.Printf("%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "measured ns/op", "delta")
+	fmt.Fprintf(stdout, "%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "measured ns/op", "delta")
 	for _, r := range results {
 		b, ok := want[r.name]
 		if !ok {
@@ -109,17 +111,44 @@ func main() {
 		} else if delta < -*tolerance {
 			mark = "  improved"
 		}
-		fmt.Printf("%-52s %14.2f %14.2f %+7.1f%%%s\n", r.name, b, r.nsOp, 100*delta, mark)
+		fmt.Fprintf(stdout, "%-52s %14.2f %14.2f %+7.1f%%%s\n", r.name, b, r.nsOp, 100*delta, mark)
 	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: input contained no baselined benchmarks")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: input contained no baselined benchmarks")
+		return 2
 	}
 	if regressions > 0 {
-		fmt.Printf("\n%d case(s) regressed beyond %.0f%% of %s\n", regressions, 100**tolerance, *baselinePath)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "\n%d case(s) regressed beyond %.0f%% of %s\n", regressions, 100**tolerance, *baselinePath)
+		return 1
 	}
-	fmt.Printf("\nall %d compared case(s) within %.0f%% of %s\n", compared, 100**tolerance, *baselinePath)
+	fmt.Fprintf(stdout, "\nall %d compared case(s) within %.0f%% of %s\n", compared, 100**tolerance, *baselinePath)
+	return 0
+}
+
+// loadBaseline flattens the baseline file into benchmark-name → ns/op.
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, err
+	}
+	want := map[string]float64{}
+	for c, v := range base.KernelEventThroughput.Fastpath {
+		want["KernelEventThroughput/"+c] = v.NsPerEvent
+	}
+	for sweep, rawEntry := range base.SweepParallelWallClock {
+		var m map[string]float64
+		if json.Unmarshal(rawEntry, &m) != nil {
+			continue // "benchmark", "units", "note" strings
+		}
+		for par, ns := range m {
+			want["SweepParallel/"+sweep+"/"+par] = ns
+		}
+	}
+	return want, nil
 }
 
 // stripProcs removes a trailing "-<number>" (the GOMAXPROCS suffix).
@@ -158,11 +187,4 @@ func parseBench(in io.Reader) []result {
 		out = append(out, result{name: name, nsOp: nsOp})
 	}
 	return out
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBaseline = `{
+  "kernel_event_throughput": {
+    "fastpath": {
+      "uniform": {"ns_per_event": 100.0},
+      "deep-queue-1024": {"ns_per_event": 200.0}
+    }
+  },
+  "sweep_parallel_wall_clock": {
+    "benchmark": "BenchmarkSweepParallel",
+    "fig6a": {"parallel-1": 1000.0, "parallel-8": 300.0}
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(testBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runDiff feeds bench output through run() and returns (exit, stdout, stderr).
+func runDiff(t *testing.T, bench string, extra ...string) (int, string, string) {
+	t.Helper()
+	args := append([]string{"-baseline", writeBaseline(t)}, extra...)
+	var out, errw bytes.Buffer
+	code := run(args, strings.NewReader(bench), &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunWithinTolerance(t *testing.T) {
+	code, out, _ := runDiff(t, `
+goos: linux
+BenchmarkKernelEventThroughput/uniform-8      	 1000000	       105.0 ns/op
+BenchmarkSweepParallel/fig6a/parallel-8-8     	       1	       310.0 ns/op
+PASS
+`)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "all 2 compared case(s) within 20%") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+}
+
+func TestRunFlagsRegression(t *testing.T) {
+	code, out, _ := runDiff(t, `
+BenchmarkKernelEventThroughput/uniform-8   1000000   150.0 ns/op
+`)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on a +50%% regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression not marked:\n%s", out)
+	}
+}
+
+func TestRunHonoursTolerance(t *testing.T) {
+	code, out, _ := runDiff(t, `
+BenchmarkKernelEventThroughput/uniform-8   1000000   150.0 ns/op
+`, "-tolerance", "0.60")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 at 60%% tolerance\n%s", code, out)
+	}
+}
+
+func TestRunKeepsRealNumericSuffixes(t *testing.T) {
+	// deep-queue-1024 is a case name, not a GOMAXPROCS suffix: stripping
+	// must only happen when the full name misses.
+	code, out, _ := runDiff(t, `
+BenchmarkKernelEventThroughput/deep-queue-1024   1000	 190.0 ns/op
+`)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "deep-queue-1024") {
+		t.Errorf("case not compared:\n%s", out)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	code, _, errw := runDiff(t, "no benchmarks here\n")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on empty input", code)
+	}
+	if !strings.Contains(errw, "no benchmark lines") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestRunRejectsUnknownBenchmarks(t *testing.T) {
+	code, _, errw := runDiff(t, `
+BenchmarkSomethingElse-8   1000   1.0 ns/op
+`)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 when nothing matches the baseline", code)
+	}
+	if !strings.Contains(errw, "no baselined benchmarks") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestRunRejectsMissingBaseline(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-baseline", filepath.Join(t.TempDir(), "absent.json")},
+		strings.NewReader("BenchmarkKernelEventThroughput/uniform 1 1.0 ns/op\n"), &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on a missing baseline file", code)
+	}
+}
+
+func TestRunReadsFileArgument(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(benchPath, []byte("BenchmarkKernelEventThroughput/uniform-8 1000 99.0 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-baseline", writeBaseline(t), benchPath}, strings.NewReader(""), &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"KernelEventThroughput/uniform-8": "KernelEventThroughput/uniform",
+		"SweepParallel/fig6a/parallel-1":  "SweepParallel/fig6a/parallel",
+		"plain":                           "plain",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

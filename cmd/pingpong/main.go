@@ -39,8 +39,10 @@ func main() {
 	sizesFlag := flag.String("sizes", "", "comma-separated message sizes [B] (default: the Fig. 6 sweep)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of every measured point")
 	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per measured point")
+	checkMode := flag.Bool("check", false, "run with the MPB consistency checker (panics on stale-line reads)")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
+	harness.SetConsistencyCheck(*checkMode)
 	obs := harness.EnableObservability(*traceOut, *metrics)
 	if !*onchip && !*inter && !*claims && !*timeline {
 		*onchip, *inter = true, true
@@ -129,7 +131,7 @@ func main() {
 // renderTimeline runs one 64 kB transfer and renders the recorded spans.
 func renderTimeline(proto rcce.Protocol) string {
 	k := sim.NewKernel()
-	chip := scc.NewChip(k, 0, scc.DefaultParams())
+	chip := harness.ApplyCheck(scc.NewChip(k, 0, scc.DefaultParams()))
 	places, err := rcce.LinearPlaces([]*scc.Chip{chip}, 2)
 	check(err)
 	tl := sim.NewTimeline(k)

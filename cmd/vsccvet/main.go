@@ -1,0 +1,132 @@
+// vsccvet is the project-specific static analyzer for this repository.
+// It loads the module with the stdlib-only driver in internal/lint and
+// runs the rule suite that machine-checks the paper's non-coherent-MPB
+// programming discipline and the simulator's own invariants:
+//
+//	kernelclock     model packages take time/concurrency from internal/sim only
+//	goryorder       flush before signalling, invalidate after waiting (paper §3.1)
+//	flagdiscipline  raw flag-byte addressing only in protocol extensions
+//	tracealloc      no dynamic trace-label building at unguarded call sites
+//	simapi          no scheduling delays from subtractions that can wrap
+//
+// Usage:
+//
+//	vsccvet [-rules] [packages]
+//
+// Package patterns are module-relative ("./...", "./internal/scc",
+// "internal/..."); with no pattern the whole module is vetted. Exit
+// status: 0 clean, 1 findings, 2 load or usage error. Findings are
+// suppressed per line with //lint:ignore <rule> <reason>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vscc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("vsccvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: vsccvet [-rules] [packages]")
+		fs.PrintDefaults()
+	}
+	listRules := fs.Bool("rules", false, "list the rule suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *listRules {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "vsccvet:", err)
+		return 2
+	}
+	pr, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(errw, "vsccvet:", err)
+		return 2
+	}
+	pkgs, err := selectPackages(pr, cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(errw, "vsccvet:", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunPackage(pr, pkg, analyzers) {
+			fmt.Fprintln(out, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(errw, "vsccvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// selectPackages resolves go-style package patterns relative to cwd
+// against the loaded module. Supported shapes: ".", "./...", "./x",
+// "x/..." and plain module-relative paths.
+func selectPackages(pr *lint.Program, cwd string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	rel, err := filepath.Rel(pr.ModuleRoot, cwd)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("working directory %s is outside module %s", cwd, pr.ModuleRoot)
+	}
+	base := pr.ModulePath
+	if rel != "." {
+		base = pr.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	join := func(p string) string {
+		if p == "" || p == "." {
+			return base
+		}
+		return base + "/" + p
+	}
+	seen := map[string]bool{}
+	var out []*lint.Package
+	for _, pat := range patterns {
+		p := strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		recursive := false
+		if p == "..." {
+			p, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, recursive = rest, true
+		}
+		root := join(p)
+		matched := false
+		for _, pkg := range pr.Packages() {
+			ok := pkg.Path == root || (recursive && strings.HasPrefix(pkg.Path, root+"/"))
+			if !ok || seen[pkg.Path] {
+				matched = matched || ok
+				continue
+			}
+			seen[pkg.Path] = true
+			matched = true
+			out = append(out, pkg)
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q", pat)
+		}
+	}
+	return out, nil
+}

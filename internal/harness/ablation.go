@@ -25,7 +25,7 @@ func interDevicePingPongWith(cfg vscc.Config, sizes []int, reps int) ([]PingPong
 			k := sim.NewKernel()
 			c := cfg
 			c.Devices = 2
-			sys, err := vscc.NewSystem(k, c)
+			sys, err := vscc.NewSystem(k, sysConfig(c))
 			if err != nil {
 				return nil, err
 			}

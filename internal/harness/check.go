@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"sync/atomic"
+
+	"vscc/internal/scc"
+	"vscc/internal/vscc"
+)
+
+// consistencyCheck mirrors the -check flag of the commands: when set,
+// every system a sweep builds runs with the MPB consistency checker on.
+var consistencyCheck atomic.Bool
+
+// SetConsistencyCheck toggles the runtime MPB consistency checker
+// (vscc.Config.Check) for every system subsequently built by this
+// package's sweeps, returning the previous setting. Like SetParallelism
+// it is process-wide and safe to call concurrently; systems already
+// built keep their mode.
+func SetConsistencyCheck(on bool) bool { return consistencyCheck.Swap(on) }
+
+// sysConfig stamps the process-wide harness settings onto a system
+// config. Every vscc.NewSystem call in this package goes through it.
+func sysConfig(cfg vscc.Config) vscc.Config {
+	cfg.Check = consistencyCheck.Load()
+	return cfg
+}
+
+// ApplyCheck enables the consistency checker on a standalone chip (one
+// built outside vscc.NewSystem) when the process-wide flag is set.
+func ApplyCheck(chip *scc.Chip) *scc.Chip {
+	if consistencyCheck.Load() {
+		chip.EnableConsistencyCheck(scc.NewChecker())
+	}
+	return chip
+}

@@ -60,7 +60,7 @@ func BTRun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 		cfg.Iterations = 2
 	}
 	k := sim.NewKernel()
-	sys, err := vscc.NewSystem(k, vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme})
+	sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme}))
 	if err != nil {
 		return BTPoint{}, err
 	}
@@ -98,7 +98,7 @@ func LURun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 		cfg.Iterations = 2
 	}
 	k := sim.NewKernel()
-	sys, err := vscc.NewSystem(k, vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme})
+	sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme}))
 	if err != nil {
 		return BTPoint{}, err
 	}

@@ -33,7 +33,7 @@ func CaptureTraffic(cfg TrafficConfig) (*trace.Matrix, error) {
 	}
 	k := sim.NewKernel()
 	devices := (cfg.Ranks + 47) / 48
-	sys, err := vscc.NewSystem(k, vscc.Config{Devices: devices, Scheme: cfg.Scheme})
+	sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: devices, Scheme: cfg.Scheme}))
 	if err != nil {
 		return nil, err
 	}

@@ -103,7 +103,7 @@ func OnChipPingPong(newProto func() rcce.Protocol, coreA, coreB int, sizes []int
 	pts, err := PingPongSweep(func(size int) func() (*rcce.Session, error) {
 		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
-			chip := scc.NewChip(k, 0, scc.DefaultParams())
+			chip := ApplyCheck(scc.NewChip(k, 0, scc.DefaultParams()))
 			places := []rcce.Place{{Dev: 0, Core: coreA}, {Dev: 0, Core: coreB}}
 			var opts []rcce.Option
 			protoName := "rcce"
@@ -129,7 +129,7 @@ func InterDevicePingPong(scheme vscc.Scheme, sizes []int, reps int) ([]PingPongP
 	pts, err := PingPongSweep(func(size int) func() (*rcce.Session, error) {
 		return func() (*rcce.Session, error) {
 			k := sim.NewKernel()
-			sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme})
+			sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: 2, Scheme: scheme}))
 			if err != nil {
 				return nil, err
 			}

@@ -85,7 +85,7 @@ func (pp *PipelinedProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 	st := pp.state(r.ID(), dest)
 	myDev, myTile, myBase := r.MPBOf(r.ID())
 	ctx := r.Ctx()
-	readyOff := rcce.FlagByteAt(1, dest)
+	readyOff := rcce.FlagByteAt(rcce.FlagReady, dest)
 	for len(data) > 0 {
 		n := len(data)
 		if n > pk {
@@ -112,7 +112,7 @@ func (pp *PipelinedProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 		sink.Add("ircce.packets", 1)
 		sink.Observe("ircce.packet_bytes", float64(n))
 		// Publish the new packet count at the receiver.
-		pp.writeCounter(r, dest, 0, byte(seq))
+		pp.writeCounter(r, dest, rcce.FlagSent, byte(seq))
 		data = data[n:]
 	}
 	// Blocking semantics: wait until the receiver drained everything.
@@ -130,7 +130,7 @@ func (pp *PipelinedProtocol) Recv(r *rcce.Rank, src int, buf []byte) {
 	_, myTile, myBase := r.MPBOf(r.ID())
 	srcDev, srcTile, srcBase := r.MPBOf(src)
 	ctx := r.Ctx()
-	sentOff := rcce.FlagByteAt(0, src)
+	sentOff := rcce.FlagByteAt(rcce.FlagSent, src)
 	for len(buf) > 0 {
 		n := len(buf)
 		if n > pk {
@@ -151,7 +151,7 @@ func (pp *PipelinedProtocol) Recv(r *rcce.Rank, src int, buf []byte) {
 		ctx.CopyPrivate(n)
 		tl.Record("receiver", "get", t0, r.Now())
 		// Acknowledge the drained packet at the sender.
-		pp.writeCounter(r, src, 1, byte(seq))
+		pp.writeCounter(r, src, rcce.FlagReady, byte(seq))
 		buf = buf[n:]
 	}
 }

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoryOrderAnalyzer checks the gory-protocol ordering discipline of the
+// SCC's non-coherent memory model (paper §3.1, RCCE's "gory" interface):
+//
+//   - flush-before-flag: after an MPB data write (WriteMPB/WriteV), the
+//     write-combine buffer must be flushed (FlushWCB) before any flag is
+//     signalled (SignalSent/SignalReady/setSent/setReady/FlagSet, or a
+//     raw WriteMPB of a flag byte). A flag that overtakes combined data
+//     publishes a message the receiver cannot yet see.
+//   - invalidate-before-read: after waiting on (or consuming) a flag,
+//     an MPB data read (ReadMPB/ReadV) must be preceded by
+//     InvalidateMPB, or the L1 may serve stale MPBT lines cached before
+//     the peer's write.
+//
+// The check is a linear, path-insensitive scan over each function body:
+// events are matched by callee name in syntactic order, so straight-line
+// protocol code — the shape of every gory call site in this repository —
+// is checked exactly, while branchy code may need a //lint:ignore with a
+// short proof. The runtime MPB consistency checker (scc.Checker, enabled
+// with -check) covers the path-sensitive remainder.
+func GoryOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goryorder",
+		Doc:  "gory-protocol call sites must flush before signalling and invalidate after waiting",
+		Applies: func(p string) bool {
+			return pkgPathIn(p, goryPackages...) || !strings.Contains(p, "/")
+		},
+		Run: runGoryOrder,
+	}
+}
+
+// Event classes, matched by callee name.
+var (
+	goryFlush = map[string]bool{
+		"FlushWCB": true,
+		// Put/PutV flush the WCB internally before returning (rank.go,
+		// gory.go), so at the call site they leave no combined data behind
+		// — including any earlier unflushed WriteMPB.
+		"Put": true, "PutV": true,
+	}
+	goryInval = map[string]bool{
+		"InvalidateMPB": true,
+		// Get/GetV invalidate internally before reading, so at the call
+		// site they behave like an invalidate (the L1 holds only fresh
+		// lines afterwards).
+		"Get": true, "GetV": true,
+	}
+	goryDataWrite = map[string]bool{"WriteMPB": true, "WriteV": true}
+	goryDataRead  = map[string]bool{"ReadMPB": true, "ReadV": true}
+	gorySignal    = map[string]bool{
+		"SignalSent": true, "SignalReady": true,
+		"setSent": true, "setReady": true, "FlagSet": true,
+	}
+	goryWait = map[string]bool{
+		"AwaitSent": true, "AwaitReady": true,
+		"waitSent": true, "waitReady": true, "waitClearFlag": true,
+		"WaitFlag": true, "FlagWait": true,
+		"ClearSent": true, "ClearReady": true,
+		"PeekSent": true, "PeekReady": true, "PeekFlagByte": true,
+	}
+)
+
+func runGoryOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoryFunc(pass, fd)
+		}
+	}
+}
+
+// checkGoryFunc runs the order state machine over one function body.
+func checkGoryFunc(pass *Pass, fd *ast.FuncDecl) {
+	flagOffIdents := collectFlagOffsetIdents(fd)
+
+	dirtyData := false // an MPB data write is sitting unflushed in the WCB
+	needInval := false // a flag wait happened with no InvalidateMPB since
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case goryFlush[name]:
+			dirtyData = false
+		case goryInval[name]:
+			needInval = false
+		case goryDataWrite[name]:
+			if isFlagWrite(call, flagOffIdents) {
+				// A raw flag-byte store is a signal: combined data must
+				// already be flushed.
+				if dirtyData {
+					pass.Reportf(call.Pos(), "flag byte written before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)")
+				}
+				// The flag byte itself now sits in the WCB until the next
+				// flush; it is not data, so dirtyData stays as-is.
+			} else {
+				dirtyData = true
+			}
+		case gorySignal[name]:
+			if dirtyData {
+				pass.Reportf(call.Pos(), "%s before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)", name)
+				dirtyData = false // one report per unflushed write
+			}
+		case goryDataRead[name]:
+			if needInval {
+				pass.Reportf(call.Pos(), "MPB read after a flag wait without InvalidateMPB: the L1 may serve stale MPBT lines (paper §3.1: invalidate before the remote get)")
+				needInval = false // one report per missing invalidate
+			}
+		case goryWait[name]:
+			needInval = true
+		}
+		return true
+	})
+}
+
+// collectFlagOffsetIdents finds local identifiers assigned from
+// FlagByteAt-derived expressions, so that WriteMPB(dev, tile, base+sentOff)
+// is recognized as a flag write even when the offset was hoisted.
+func collectFlagOffsetIdents(fd *ast.FuncDecl) map[string]bool {
+	idents := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !exprMentionsFlagOffset(rhs, nil) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+		}
+		return true
+	})
+	return idents
+}
+
+// isFlagWrite reports whether a WriteMPB-class call targets a flag byte:
+// an argument mentions FlagByteAt/ScratchByteAt, a *FlagBase constant, or
+// a hoisted flag-offset identifier.
+func isFlagWrite(call *ast.CallExpr, flagOffIdents map[string]bool) bool {
+	for _, arg := range call.Args {
+		if exprMentionsFlagOffset(arg, flagOffIdents) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprMentionsFlagOffset(e ast.Expr, flagOffIdents map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if name == "FlagByteAt" || name == "ScratchByteAt" {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.HasSuffix(n.Name, "FlagBase") || strings.HasSuffix(n.Name, "flagBase") || flagOffIdents[n.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// KernelClockAnalyzer forbids wall-clock time, unseeded process-global
+// randomness and raw Go concurrency inside the model packages. The
+// simulation contract (DESIGN.md §6, PR 1–2) is that every cycle of
+// simulated time and every interleaving decision flows through the
+// deterministic kernel in internal/sim: a single time.Now, goroutine or
+// channel in a model package breaks byte-identical parallel sweeps.
+//
+// Test files are exempt — tests may legitimately use wall-clock
+// timeouts and goroutines to drive the simulator from outside.
+func KernelClockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "kernelclock",
+		Doc:     "model packages must take time and concurrency from internal/sim only",
+		Applies: func(p string) bool { return pkgPathIn(p, modelPackages...) },
+		Run:     runKernelClock,
+	}
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Pure data like time.Duration arithmetic would be deterministic, but no
+// model package needs it, so any listed selector is reported.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+func runKernelClock(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		imports := importTable(f)
+		for _, imp := range f.Imports {
+			switch path := importPathOf(imp); path {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s in a model package: unseeded process-global randomness breaks deterministic replay; derive randomness from an explicitly seeded source threaded through the harness", path)
+			case "sync", "sync/atomic":
+				pass.Reportf(imp.Pos(), "import of %s in a model package: synchronization must use internal/sim primitives (Cond, Queue, Gate), which keep the event order deterministic", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok && imports[id.Name] == "time" && forbiddenTimeFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(), "time.%s in a model package: simulated time is the kernel clock (sim.Proc.Delay / Kernel.Now), never the wall clock", n.Sel.Name)
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw goroutine in a model package: spawn simulated processes with sim.Kernel.Spawn/SpawnDaemon so the kernel serializes execution deterministically")
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in a model package: cross-process signalling must use sim.Cond/sim.Queue, which wake processes in deterministic event order")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in a model package: nondeterministic case choice; block on sim primitives instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in a model package: use sim.Queue.Push / sim.Cond.Broadcast")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in a model package: use sim.Queue.Pop / sim.Cond.Wait")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func importPathOf(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 {
+		p = p[1 : len(p)-1]
+	}
+	return p
+}

@@ -1,0 +1,264 @@
+// Package lint is the project-specific static-analysis suite behind
+// cmd/vsccvet. It turns the paper's non-coherent-memory programming
+// discipline (explicit InvalidateMPB / FlushWCB ordering around flag
+// signals, §3–4) and this repository's own invariants (kernel-clock-only
+// time, seeded determinism, zero-alloc disabled trace paths) into
+// machine-checked rules.
+//
+// The driver is stdlib-only: packages load through go/parser and
+// type-check best-effort through go/types (see load.go). Each Analyzer
+// reports file:line diagnostics carrying a rule ID; a finding is
+// suppressed by a
+//
+//	//lint:ignore <rule> <reason>
+//
+// comment on the reported line or the line directly above it. The reason
+// is mandatory — a suppression without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Rule     string
+	Position token.Position
+	Message  string
+}
+
+// String formats a diagnostic as path:line:col: rule: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	// Files is what the analyzer walks: build files plus test files.
+	Files []*ast.File
+	// Info is the best-effort type information for the build files; test
+	// file nodes are not present, so lookups must tolerate misses.
+	Info *types.Info
+
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzer is one vet rule.
+type Analyzer struct {
+	// Name is the rule ID used in diagnostics and //lint:ignore comments.
+	Name string
+	// Doc is a one-line description shown by vsccvet -rules.
+	Doc string
+	// Applies filters packages by import path; nil means every package.
+	Applies func(pkgPath string) bool
+	// Run reports the rule's findings for one package.
+	Run func(*Pass)
+}
+
+// Run applies the analyzers to every package of the program and returns
+// the surviving (non-suppressed) diagnostics in deterministic order.
+func Run(pr *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pr.Packages() {
+		diags = append(diags, RunPackage(pr, pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunPackage applies the analyzers (honoring Applies) to one package.
+func RunPackage(pr *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := collectSuppressions(pr.Fset, pkg)
+	diags = append(diags, sup.malformed...)
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		rule := a.Name
+		pass := &Pass{
+			Fset:  pr.Fset,
+			Pkg:   pkg,
+			Files: pkg.AllFiles(),
+			Info:  pkg.Info,
+			report: func(pos token.Pos, msg string) {
+				position := pr.Fset.Position(pos)
+				if sup.suppressed(rule, position) {
+					return
+				}
+				diags = append(diags, Diagnostic{Rule: rule, Position: position, Message: msg})
+			},
+		}
+		a.Run(pass)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// suppressions indexes //lint:ignore comments by (file, line).
+type suppressions struct {
+	// byLine maps file -> line -> suppressed rule names.
+	byLine    map[string]map[int][]string
+	malformed []Diagnostic
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions scans every comment of the package.
+func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.AllFiles() {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Rule:     "lint",
+						Position: pos,
+						Message:  "malformed suppression: want //lint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				for _, rule := range strings.Split(fields[0], ",") {
+					lines[pos.Line] = append(lines[pos.Line], rule)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a rule finding at position is covered by a
+// suppression on the same line or the line directly above.
+func (s *suppressions) suppressed(rule string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range lines[l] {
+			if r == rule || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared analyzer helpers ---------------------------------------------
+
+// importTable maps local import names to import paths for one file.
+func importTable(f *ast.File) map[string]string {
+	t := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		t[name] = path
+	}
+	return t
+}
+
+// calleeName returns the bare function or method name of a call, ignoring
+// the receiver or package qualifier: x.FlushWCB() and FlushWCB() both
+// yield "FlushWCB".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// hasSuffixPath reports whether pkgPath is path or ends in "/"+path.
+func hasSuffixPath(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasSuffix(pkgPath, "/"+path)
+}
+
+// pkgPathIn reports whether pkgPath matches any entry.
+func pkgPathIn(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if hasSuffixPath(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultAnalyzers returns the full vsccvet rule suite with its
+// per-package applicability:
+//
+//   - kernelclock audits the model packages, where all time and
+//     concurrency must flow through internal/sim,
+//   - goryorder audits the gory-protocol packages plus the repository
+//     root (whose integration tests exercise raw protocols),
+//   - flagdiscipline, tracealloc and simapi audit everything.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		KernelClockAnalyzer(),
+		GoryOrderAnalyzer(),
+		FlagDisciplineAnalyzer(),
+		TraceAllocAnalyzer(),
+		SimAPIAnalyzer(),
+	}
+}
+
+// modelPackages are the packages whose concurrency and time must flow
+// through internal/sim.
+var modelPackages = []string{
+	"internal/noc", "internal/pcie", "internal/host", "internal/rcce",
+	"internal/ircce", "internal/vscc", "internal/scc", "internal/mem",
+}
+
+// goryPackages are the packages holding gory-protocol call sites.
+var goryPackages = []string{"internal/rcce", "internal/ircce", "internal/vscc"}

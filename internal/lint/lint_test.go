@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersGolden diffs every analyzer against its testdata fixture
+// package. The fixture import path places it where the analyzer's
+// Applies filter expects its targets (model package, protocol extension,
+// plain package).
+func TestAnalyzersGolden(t *testing.T) {
+	tests := []struct {
+		analyzer   *Analyzer
+		dir        string
+		importPath string
+	}{
+		{KernelClockAnalyzer(), "kernelclock", "vscc/internal/noc"},
+		{GoryOrderAnalyzer(), "goryorder", "vscc/internal/rcce"},
+		{FlagDisciplineAnalyzer(), "flagdiscipline", "fixture/flagdiscipline"},
+		{FlagDisciplineAnalyzer(), "flagdiscipline_ext", "vscc/internal/ircce"},
+		{TraceAllocAnalyzer(), "tracealloc", "fixture/tracealloc"},
+		{SimAPIAnalyzer(), "simapi", "fixture/simapi"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.dir, func(t *testing.T) {
+			RunAnalyzerTest(t, tt.analyzer, filepath.Join("testdata", "src", tt.dir), tt.importPath)
+		})
+	}
+}
+
+// TestSuppressions pins down the //lint:ignore contract: same line or
+// line above, comma-separated rule lists, the "all" wildcard, wrong-rule
+// comments not suppressing, and reason-less comments being findings
+// themselves.
+func TestSuppressions(t *testing.T) {
+	const src = `package p
+
+type c struct{}
+
+func (c) Delay(d uint64) {}
+
+func f(x c, a, b uint64) {
+	x.Delay(a - b)
+	//lint:ignore simapi,othertool proof: a is b plus cost
+	x.Delay(a - b)
+	x.Delay(a - b) //lint:ignore all broad proof
+	//lint:ignore goryorder wrong rule for this finding
+	x.Delay(a - b)
+	//lint:ignore simapi
+	x.Delay(a - b)
+}
+`
+	pr := NewProgram()
+	pkg, err := pr.ParseFixtureFile("sup.go", src, "fixture/sup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pr, pkg, []*Analyzer{SimAPIAnalyzer()})
+
+	type finding struct {
+		rule string
+		line int
+	}
+	var got []finding
+	for _, d := range diags {
+		got = append(got, finding{d.Rule, d.Position.Line})
+	}
+	want := []finding{
+		{"simapi", 8},  // unsuppressed baseline
+		{"simapi", 13}, // preceding comment names a different rule
+		{"lint", 14},   // reason-less suppression is malformed...
+		{"simapi", 15}, // ...and does not suppress
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiagnosticString pins the path:line:col: rule: message format the
+// CI log parser and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	pr := NewProgram()
+	pkg, err := pr.ParseFixtureFile("d.go", "package p\n\nfunc f(p interface{ Delay(uint64) }, a, b uint64) {\n\tp.Delay(a - b)\n}\n", "fixture/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pr, pkg, []*Analyzer{SimAPIAnalyzer()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	s := diags[0].String()
+	if !strings.HasPrefix(s, "d.go:4:10: simapi: ") {
+		t.Errorf("diagnostic string = %q, want d.go:4:10: simapi: prefix", s)
+	}
+}
+
+// TestRepoIsLintClean runs the full rule suite over the repository the
+// way cmd/vsccvet does, pinning the tree at zero findings so CI catches
+// new violations the moment they are introduced.
+func TestRepoIsLintClean(t *testing.T) {
+	pr, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pr, DefaultAnalyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadModule sanity-checks the loader: the module resolves, known
+// packages are present, and module-local type information exists.
+func TestLoadModule(t *testing.T) {
+	pr, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.ModulePath != "vscc" {
+		t.Fatalf("module path = %q, want vscc", pr.ModulePath)
+	}
+	for _, path := range []string{"vscc", "vscc/internal/sim", "vscc/internal/scc", "vscc/internal/rcce", "vscc/internal/lint"} {
+		pkg := pr.Package(path)
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if len(pkg.Files) > 0 && pkg.Types == nil {
+			t.Errorf("package %s has no type information", path)
+		}
+	}
+	if pr.Package("vscc/internal/lint/testdata/src/simapi") != nil {
+		t.Error("testdata fixture leaked into the module load")
+	}
+}

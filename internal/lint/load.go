@@ -1,0 +1,269 @@
+// load.go is the package loader behind the vsccvet analyzer driver. It
+// is deliberately stdlib-only (go/parser + go/types): the module has no
+// third-party dependencies and the lint layer must not introduce one.
+//
+// The loader parses every package under the module root, then
+// type-checks the non-test files best-effort: module-local imports are
+// resolved from source in dependency order, while standard-library
+// imports resolve to empty stub packages (no export data is needed).
+// Type information is therefore complete for module-local types — which
+// is what the analyzers use, e.g. "is this Delay on *sim.Proc?" — and
+// absent for stdlib types, where the analyzers fall back to syntactic
+// import tables.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and best-effort type-checked package.
+type Package struct {
+	// Path is the import path (module path + directory).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Files holds the non-test build files, in file-name order.
+	Files []*ast.File
+	// TestFiles holds the _test.go files (in-package and external), in
+	// file-name order. They are analyzed but not type-checked.
+	TestFiles []*ast.File
+	// Types and Info carry the best-effort type-check results of Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// AllFiles returns build files followed by test files.
+func (p *Package) AllFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files)+len(p.TestFiles))
+	out = append(out, p.Files...)
+	out = append(out, p.TestFiles...)
+	return out
+}
+
+// Program is a loaded module: every package, sharing one FileSet.
+type Program struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	pkgs  map[string]*Package
+	stubs map[string]*types.Package
+
+	checking map[string]bool // import-cycle guard during type checking
+}
+
+// Packages returns all loaded packages in import-path order.
+func (pr *Program) Packages() []*Package {
+	paths := make([]string, 0, len(pr.pkgs))
+	for p := range pr.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, pr.pkgs[p])
+	}
+	return out
+}
+
+// Package returns a loaded package by import path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.pkgs[path] }
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// skipDir reports whether a directory is excluded from module walks, the
+// same set the go tool ignores (testdata packages are loaded explicitly
+// by the analyzer tests, never by LoadModule).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule loads every package under the module containing dir.
+func LoadModule(dir string) (*Program, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	pr := &Program{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: root,
+		ModulePath: mod,
+		pkgs:       map[string]*Package{},
+		stubs:      map[string]*types.Package{},
+		checking:   map[string]bool{},
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		importPath := mod
+		if rel, _ := filepath.Rel(root, d); rel != "." {
+			importPath = mod + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := pr.parseDir(d, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pr.pkgs[importPath] = pkg
+		}
+	}
+	for _, pkg := range pr.Packages() {
+		pr.ensureChecked(pkg)
+	}
+	return pr, nil
+}
+
+// LoadDir loads a single directory as a package with the given import
+// path, type-checking it against the already-loaded program. It is the
+// entry point the analyzer test harness uses for testdata fixtures.
+func (pr *Program) LoadDir(dir, importPath string) (*Package, error) {
+	pkg, err := pr.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pr.pkgs[importPath] = pkg
+	pr.ensureChecked(pkg)
+	return pkg, nil
+}
+
+// parseDir parses the Go files of one directory; nil if there are none.
+func (pr *Program) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(pr.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// ensureChecked type-checks a package's build files once, resolving
+// module-local imports recursively. Errors are swallowed: the check is
+// best-effort and analyzers must tolerate missing type information.
+func (pr *Program) ensureChecked(pkg *Package) {
+	if pkg.Types != nil || pr.checking[pkg.Path] || len(pkg.Files) == 0 {
+		return
+	}
+	pr.checking[pkg.Path] = true
+	defer delete(pr.checking, pkg.Path)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    (*moduleImporter)(pr),
+		Error:       func(error) {}, // best-effort: stdlib members are unresolved stubs
+		FakeImportC: true,
+	}
+	tpkg, _ := conf.Check(pkg.Path, pr.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// moduleImporter resolves imports during type checking: module-local
+// packages from source, everything else as an empty stub.
+type moduleImporter Program
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	pr := (*Program)(m)
+	if dep := pr.pkgs[path]; dep != nil && !pr.checking[path] {
+		pr.ensureChecked(dep)
+		if dep.Types != nil {
+			return dep.Types, nil
+		}
+	}
+	if stub, ok := pr.stubs[path]; ok {
+		return stub, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	stub := types.NewPackage(path, name)
+	stub.MarkComplete()
+	pr.stubs[path] = stub
+	return stub, nil
+}

@@ -1,0 +1,40 @@
+// Fixture for the kernelclock rule: wall-clock time, process-global
+// randomness and raw Go concurrency are forbidden in model packages.
+package kernelclock
+
+import (
+	"math/rand" // want "import of math/rand in a model package"
+	"sync"      // want "import of sync in a model package"
+	"time"
+)
+
+var mu sync.Mutex
+
+func wallClock() {
+	_ = time.Now()     // want "time.Now in a model package"
+	time.Sleep(1)      // want "time.Sleep in a model package"
+	_ = time.After(1)  // want "time.After in a model package"
+	_ = rand.Intn(100) // ok: the import line already carries the finding
+	mu.Lock()          // ok: likewise
+}
+
+func concurrency() {
+	go wallClock()       // want "raw goroutine in a model package"
+	ch := make(chan int) // want "channel type in a model package"
+	ch <- 1              // want "channel send in a model package"
+	v := <-ch            // want "channel receive in a model package"
+	_ = v
+	select {} // want "select statement in a model package"
+}
+
+func suppressedClock() {
+	//lint:ignore kernelclock fixture proves same-line-above suppression
+	_ = time.Now()
+	_ = time.Now() //lint:ignore kernelclock fixture proves same-line suppression
+}
+
+// Durations as plain data would be deterministic, but the rule bans the
+// listed selectors wholesale; Unix conversion helpers are untouched.
+func allowedSelectors(t time.Time) int64 {
+	return t.Unix() // ok: not a wall-clock entry point
+}

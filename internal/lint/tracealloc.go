@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TraceAllocAnalyzer protects the zero-alloc disabled trace path (PR 2):
+// instrumented model code calls the sink unconditionally and relies on
+// the nil-receiver no-op, which only stays allocation-free if the call
+// site does not build its span/counter name first. A fmt.Sprintf or
+// dynamic string concatenation in an argument allocates before the nil
+// check runs — on every event, tracing on or off.
+//
+// The approved idiom (trace.Sink.Enabled docs) hoists label building
+// behind an explicit guard, which this analyzer recognizes in two forms:
+//
+//	if sink.Enabled() { sink.Span(tr, fmt.Sprintf(...), a, b) }
+//
+//	if !sink.Enabled() { return }      // or: if sink == nil { return }
+//	... sink.Span(tr, fmt.Sprintf(...), a, b)
+//
+// Precomputed names (fields set once in Instrument) and constant-folded
+// concatenations are always fine.
+func TraceAllocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "tracealloc",
+		Doc:  "no dynamic span/counter name building at unguarded instrumentation call sites",
+		Run:  runTraceAlloc,
+	}
+}
+
+// sinkRecordMethods are the trace.Sink recording entry points that take
+// event names on the hot path. Track registration and exporters run at
+// setup/report time and may allocate freely.
+var sinkRecordMethods = map[string]bool{
+	"Span": true, "Instant": true, "Add": true, "Gauge": true, "Observe": true,
+}
+
+func runTraceAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTraceAllocBlock(pass, fd.Body.List, false)
+		}
+	}
+}
+
+// checkTraceAllocBlock walks one statement list. guarded is true once the
+// enclosing context proved the sink enabled (Enabled() or non-nil).
+func checkTraceAllocBlock(pass *Pass, stmts []ast.Stmt, guarded bool) {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.IfStmt:
+			thenGuard := guarded || isEnabledCond(st.Cond)
+			checkTraceAllocBlock(pass, st.Body.List, thenGuard)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					checkTraceAllocBlock(pass, e.List, guarded)
+				case *ast.IfStmt:
+					checkTraceAllocBlock(pass, []ast.Stmt{e}, guarded)
+				}
+			}
+			// An early-return disabled guard blesses the rest of the list.
+			if !guarded && isDisabledCond(st.Cond) && blockExits(st.Body) {
+				guarded = true
+			}
+		case *ast.BlockStmt:
+			checkTraceAllocBlock(pass, st.List, guarded)
+		case *ast.ForStmt:
+			checkTraceAllocBlock(pass, st.Body.List, guarded)
+		case *ast.RangeStmt:
+			checkTraceAllocBlock(pass, st.Body.List, guarded)
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkTraceAllocBlock(pass, cc.Body, guarded)
+				}
+			}
+		default:
+			if guarded {
+				continue
+			}
+			ast.Inspect(st, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); !ok || !sinkRecordMethods[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range call.Args {
+					if bad, what := dynamicStringBuild(pass, arg); bad {
+						pass.Reportf(arg.Pos(), "%s builds a trace label with %s at an unguarded call site: this allocates even when tracing is disabled; hoist the name or guard with sink.Enabled()", calleeName(call), what)
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isEnabledCond reports whether an if-condition proves the sink enabled:
+// it contains an Enabled() call or an x != nil comparison, not negated.
+func isEnabledCond(cond ast.Expr) bool {
+	switch c := cond.(type) {
+	case *ast.CallExpr:
+		if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+			return true
+		}
+	case *ast.BinaryExpr:
+		if c.Op == token.NEQ && (isNil(c.X) || isNil(c.Y)) {
+			return true
+		}
+		if c.Op == token.LAND {
+			return isEnabledCond(c.X) || isEnabledCond(c.Y)
+		}
+	}
+	return false
+}
+
+// isDisabledCond reports whether an if-condition proves the sink
+// disabled: !x.Enabled() or x == nil.
+func isDisabledCond(cond ast.Expr) bool {
+	switch c := cond.(type) {
+	case *ast.UnaryExpr:
+		return c.Op == token.NOT && isEnabledCond(c.X)
+	case *ast.BinaryExpr:
+		return c.Op == token.EQL && (isNil(c.X) || isNil(c.Y))
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// blockExits reports whether a block unconditionally leaves the
+// enclosing statement list (return, continue, break, panic).
+func blockExits(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			return calleeName(call) == "panic"
+		}
+	}
+	return false
+}
+
+// dynamicStringBuild reports whether an argument expression builds a
+// string at runtime: a fmt.Sprintf call, or a + concatenation whose
+// operands are not all compile-time constants.
+func dynamicStringBuild(pass *Pass, e ast.Expr) (bad bool, what string) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if calleeName(e) == "Sprintf" {
+			return true, "fmt.Sprintf"
+		}
+	case *ast.BinaryExpr:
+		// Only string concatenation matters; numeric + in an argument
+		// (sizes, offsets) does not allocate. Require at least one
+		// string-ish leaf: a string literal or a call producing text.
+		if e.Op == token.ADD &&
+			(!constantExpr(pass, e.X) || !constantExpr(pass, e.Y)) &&
+			concatBuildsString(e) {
+			return true, "string concatenation"
+		}
+	}
+	return false, ""
+}
+
+// constantExpr reports whether the type checker folded e to a constant;
+// without type info it falls back to literal checks.
+func constantExpr(pass *Pass, e ast.Expr) bool {
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[e]; ok {
+			return tv.Value != nil
+		}
+	}
+	_, isLit := e.(*ast.BasicLit)
+	return isLit
+}
+
+// concatBuildsString reports whether a + expression tree is plausibly a
+// string build: it contains a string literal or a call (strconv.Itoa,
+// method String, ...) among its leaves.
+func concatBuildsString(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING {
+				found = true
+			}
+		case *ast.CallExpr:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -73,6 +73,10 @@ func (w *WCB) Flush() *Pending {
 // Dirty reports whether a line is buffered.
 func (w *WCB) Dirty() bool { return w.valid }
 
+// PendingKey returns the key of the buffered line, if any — consumed by
+// the scc consistency checker to flag reads overlapping combined stores.
+func (w *WCB) PendingKey() (key uint64, ok bool) { return w.key, w.valid }
+
 func (w *WCB) take() Pending {
 	p := Pending{Key: w.key, Data: w.buf, Mask: w.mask}
 	w.valid = false

@@ -103,22 +103,72 @@ func TestFlagByteAtDistinctSpaces(t *testing.T) {
 	}
 }
 
+func TestFlagByteAtExactOffsets(t *testing.T) {
+	// Pin the wire layout: sent, ready, grant and vDMA-completion arrays
+	// sit above the payload area in that order (the barrier array lives
+	// between ready and grant).
+	cases := []struct {
+		kind string
+		got  int
+		want int
+	}{
+		{"FlagSent", FlagByteAt(FlagSent, 7), PayloadBytes + 7},
+		{"FlagReady", FlagByteAt(FlagReady, 7), PayloadBytes + MaxRanks + 7},
+		{"FlagGrant", FlagByteAt(FlagGrant, 7), PayloadBytes + 3*MaxRanks + 7},
+		{"FlagDMAC", FlagByteAt(FlagDMAC, 7), PayloadBytes + 4*MaxRanks + 7},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("FlagByteAt(%s, 7) = %d, want %d", c.kind, c.got, c.want)
+		}
+	}
+}
+
 func TestFlagByteAtPanicsOnBadKind(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("bad kind did not panic")
 		}
 	}()
+	//lint:ignore flagdiscipline deliberately invalid kind to exercise the panic
 	FlagByteAt(9, 0)
 }
 
 func TestScratchByteAtBounds(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-range scratch byte did not panic")
+	// The full valid range maps to the contiguous 32-byte line above the
+	// flag arrays.
+	for i := 0; i < 32; i++ {
+		if want := PayloadBytes + 5*MaxRanks + i; ScratchByteAt(i) != want {
+			t.Errorf("ScratchByteAt(%d) = %d, want %d", i, ScratchByteAt(i), want)
 		}
-	}()
-	ScratchByteAt(32)
+	}
+	for _, i := range []int{-1, 32, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ScratchByteAt(%d) did not panic", i)
+				}
+			}()
+			ScratchByteAt(i)
+		}()
+	}
+}
+
+func TestPeekFlagByteZeroBeforeAnyStore(t *testing.T) {
+	s := newSession(t, 2)
+	err := s.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		for _, kind := range []int{FlagSent, FlagReady, FlagGrant, FlagDMAC} {
+			if v := r.PeekFlagByte(kind, 1); v != 0 {
+				t.Errorf("PeekFlagByte(%d, 1) = %#x before any store", kind, v)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestPeekFlagByteReadsCounters(t *testing.T) {

@@ -1,0 +1,79 @@
+package scc
+
+import (
+	"fmt"
+
+	"vscc/internal/mem"
+)
+
+// Checker is the runtime MPB consistency oracle behind the -check flag:
+// the dynamic complement of the static goryorder vet rule. It shadows
+// every 32-byte MPB line with a generation counter that writeLMB bumps on
+// each store — from cores draining their WCB, the host communication
+// task, or the vDMA engine. Each core records the generation it cached at
+// L1 fill time; a hit on a line whose authoritative generation has since
+// advanced is a read the hardware would serve stale, so the checker
+// panics with the core, cycle and line address (the session layer
+// attributes the panic to a rank). A read of a line the core's own WCB
+// still buffers is likewise flagged as a missing FlushWCB.
+//
+// One Checker is shared by every chip of a system, so cross-device
+// deliveries (which land through the target chip's writeLMB) advance the
+// same shadow state the reader compares against.
+//
+// Known limitation: a core's own drained stores refresh its recorded
+// generation (its write-through L1 copy tracks them), which assumes the
+// gory discipline's disjoint-writer rule — concurrent writers to one
+// line are not distinguished.
+type Checker struct {
+	gens map[uint64]uint64
+}
+
+// NewChecker creates an empty consistency oracle.
+func NewChecker() *Checker { return &Checker{gens: map[uint64]uint64{}} }
+
+// bumpRange advances the generation of every line a store touches.
+func (ck *Checker) bumpRange(dev, tile, off, n int) {
+	if n <= 0 {
+		return
+	}
+	for l := off / mem.LineSize; l <= (off+n-1)/mem.LineSize; l++ {
+		ck.gens[lineKey(dev, tile, l*mem.LineSize)]++
+	}
+}
+
+// gen returns the current generation of a line.
+func (ck *Checker) gen(key uint64) uint64 { return ck.gens[key] }
+
+// EnableConsistencyCheck attaches a shared staleness oracle to the chip
+// and allocates the per-core fill-generation shadows. Call it on every
+// chip of a system with the same Checker before launching programs.
+func (c *Chip) EnableConsistencyCheck(ck *Checker) {
+	c.check = ck
+	for _, co := range c.Cores {
+		co.fillGen = map[uint64]uint64{}
+	}
+}
+
+// checkPendingRead panics if the core reads an MPB line its own WCB still
+// buffers: the memory image lacks the combined stores, so the core sees
+// data its subsequent flush would overwrite.
+func (c *Ctx) checkPendingRead(dev, tile, lineBase int, key uint64) {
+	if pk, pending := c.Core.WCB.PendingKey(); pending && pk == key {
+		panic(fmt.Sprintf(
+			"scc: mpb-check: core %d of device %d reads MPB line (dev %d, tile %d, off %d) at cycle %d while its write-combine buffer holds stores to that line: missing FlushWCB (paper §3.1)",
+			c.Core.ID, c.chip().Index, dev, tile, lineBase, c.Now()))
+	}
+}
+
+// checkCachedRead panics if an L1 hit serves a line whose authoritative
+// generation advanced after this core cached it — the stale read the
+// gory discipline's InvalidateMPB exists to prevent.
+func (c *Ctx) checkCachedRead(ck *Checker, dev, tile, lineBase int, key uint64) {
+	have := c.Core.fillGen[key]
+	if g := ck.gen(key); g > have {
+		panic(fmt.Sprintf(
+			"scc: mpb-check: core %d of device %d read a stale MPB line (dev %d, tile %d, off %d) at cycle %d: memory generation %d, cached generation %d — missing InvalidateMPB after the flag wait (paper §3.1)",
+			c.Core.ID, c.chip().Index, dev, tile, lineBase, c.Now(), g, have))
+	}
+}

@@ -52,6 +52,10 @@ type Core struct {
 	// LUT is the core's address lookup table (see lut.go).
 	LUT *LUT
 
+	// fillGen shadows the L1 for the consistency checker: the line
+	// generation this core last cached. Nil unless checking is enabled.
+	fillGen map[uint64]uint64
+
 	chip *Chip
 }
 
@@ -75,6 +79,10 @@ type Chip struct {
 
 	// power holds the frequency/voltage island state.
 	power *powerState
+
+	// check is the runtime MPB consistency oracle (check.go); nil when
+	// checking is disabled.
+	check *Checker
 }
 
 // NewChip builds device index with the given timing parameters.
@@ -169,6 +177,9 @@ func (c *Chip) Launch(core int, name string, body func(*Ctx)) *sim.Proc {
 func (c *Chip) writeLMB(tile, off int, data []byte) {
 	t := c.Tiles[tile]
 	t.LMB.Write(off, data)
+	if c.check != nil {
+		c.check.bumpRange(c.Index, tile, off, len(data))
+	}
 	t.changed.Broadcast()
 }
 

@@ -57,8 +57,17 @@ func (c *Ctx) CopyPrivate(n int) {
 // InvalidateMPB executes CL1INVMB: all MPBT lines leave the L1 in one
 // instruction.
 func (c *Ctx) InvalidateMPB() {
-	c.Core.L1.InvalidateAll()
+	c.invalidateL1()
 	c.delayCore(c.chip().Params.InvalidateCycles)
+}
+
+// invalidateL1 drops all MPBT lines and resets the consistency checker's
+// shadow of what this core has cached.
+func (c *Ctx) invalidateL1() {
+	c.Core.L1.InvalidateAll()
+	if c.chip().check != nil {
+		clear(c.Core.fillGen)
+	}
 }
 
 // ReadMPB reads len(buf) bytes of MPB memory at (dev, tile, off) through
@@ -77,7 +86,13 @@ func (c *Ctx) ReadMPB(dev, tile, off int, buf []byte) {
 			chunk = rem
 		}
 		key := lineKey(dev, tile, lineBase)
+		if chip.check != nil {
+			c.checkPendingRead(dev, tile, lineBase, key)
+		}
 		if cached, ok := c.Core.L1.Lookup(key); ok {
+			if chip.check != nil {
+				c.checkCachedRead(chip.check, dev, tile, lineBase, key)
+			}
 			copy(buf[n:n+chunk], cached[lineOff:])
 			c.delayCore(p.L1HitCycles)
 			n += chunk
@@ -95,6 +110,9 @@ func (c *Ctx) ReadMPB(dev, tile, off int, buf []byte) {
 			chip.offChip().ReadLine(c.Proc, chip.Index, c.Core.ID, dev, tile, lineBase, line[:])
 		}
 		c.Core.L1.Fill(key, line)
+		if ck := chip.check; ck != nil {
+			c.Core.fillGen[key] = ck.gen(key)
+		}
 		copy(buf[n:n+chunk], line[lineOff:lineOff+chunk])
 		n += chunk
 	}
@@ -155,6 +173,11 @@ func (c *Ctx) drain(pd *mem.Pending) {
 		c.applyMasked(func(off int, b []byte) {
 			chip.writeLMB(tile, lineBase+off, b)
 		}, pd)
+		if ck := chip.check; ck != nil {
+			// The write-through L1 update above keeps this core's cached
+			// copy current with its own store (disjoint-writer rule).
+			c.Core.fillGen[pd.Key] = ck.gen(pd.Key)
+		}
 		return
 	}
 	chip.offChip().WriteLine(c.Proc, chip.Index, c.Core.ID, dev, tile, lineBase, pd.Data[:], pd.Mask)
@@ -242,7 +265,7 @@ func (c *Ctx) WaitFlag(tile, off int, pred func(byte) bool) byte {
 	for {
 		// Each poll iteration invalidates MPBT state and reloads the
 		// flag, as RCCE's flag loop does.
-		c.Core.L1.InvalidateAll()
+		c.invalidateL1()
 		c.delayCore(chip.Params.FlagPollCycles)
 		chip.readLMB(tile, off, b[:])
 		if pred(b[0]) {
@@ -273,7 +296,7 @@ func (c *Ctx) WaitLMBChange(tile int) {
 // ReadFlag performs a single coherent flag read (invalidate + load).
 func (c *Ctx) ReadFlag(tile, off int) byte {
 	chip := c.chip()
-	c.Core.L1.InvalidateAll()
+	c.invalidateL1()
 	c.delayCore(chip.Params.FlagPollCycles)
 	var b [1]byte
 	chip.readLMB(tile, off, b[:])

@@ -190,6 +190,7 @@ func (c *Chip) SetIslandVoltage(p *sim.Proc, island int, level VoltageLevel) err
 	}
 	done := start + VoltageChangeCycles
 	c.power.busyUntil[island] = done
+	//lint:ignore simapi done = start + transition cycles with start >= now
 	p.Delay(done - p.Now())
 	for t := island * TilesPerVoltageIsland; t < (island+1)*TilesPerVoltageIsland; t++ {
 		c.accrueEnergy(t, p.Now())

@@ -147,6 +147,12 @@ type Config struct {
 	// research system frequently exhibits at startup (§4).
 	FailedCores map[int][]int
 
+	// Check enables the runtime MPB consistency checker (scc.Checker): a
+	// shared staleness oracle across all devices that panics the reading
+	// rank when a protocol serves a stale cached line or reads past
+	// unflushed write-combined stores.
+	Check bool
+
 	// ChipParams, FabricParams and HostParams default when zero-valued.
 	ChipParams   *scc.Params
 	FabricParams *pcie.Params
@@ -184,10 +190,17 @@ func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
 		hostParams = *cfg.HostParams
 	}
 	var chips []*scc.Chip
+	var checker *scc.Checker
+	if cfg.Check {
+		checker = scc.NewChecker()
+	}
 	for d := 0; d < cfg.Devices; d++ {
 		chip := scc.NewChip(k, d, chipParams)
 		for _, core := range cfg.FailedCores[d] {
 			chip.SetAlive(core, false)
+		}
+		if checker != nil {
+			chip.EnableConsistencyCheck(checker)
 		}
 		chips = append(chips, chip)
 	}
