@@ -1,11 +1,11 @@
 # Build/test entry points for the vSCC reproduction. `make check` is the
-# tier-1 gate: gofmt + build + vet + lint + race-enabled tests + a
-# -benchtime=1x pass over every benchmark so bitrotted benchmark code
-# fails fast.
+# tier-1 gate: gofmt + build + vet + lint + the fault-injection gate +
+# race-enabled tests + a -benchtime=1x pass over every benchmark so
+# bitrotted benchmark code fails fast.
 
 GO ?= go
 
-.PHONY: all fmt build vet lint test race bench bench-kernel check
+.PHONY: all fmt build vet lint test race bench bench-kernel fault soak check
 
 all: check
 
@@ -41,4 +41,21 @@ bench-kernel:
 	$(GO) test ./internal/sim -run='^$$' -bench=KernelEventThroughput -benchmem
 	$(GO) run ./cmd/simbench
 
-check: fmt build vet lint race bench
+# Fault-injection gate: injector unit tests, the fault matrix, the
+# recovery tests and the soak's 1x short schedule, all under the race
+# detector, plus a coverage floor on the injector package.
+fault:
+	$(GO) test -race -short ./internal/fault
+	$(GO) test -race -short -run Fault ./internal/harness .
+	@$(GO) test -coverprofile=cover-fault.out -coverpkg=./internal/fault ./internal/fault >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-fault.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-fault.out; \
+	echo "internal/fault coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/fault coverage below the 80% floor"; exit 1; }
+
+# Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
+soak:
+	$(GO) test -run FaultSoak -v ./internal/harness
+
+check: fmt build vet lint fault race bench

@@ -22,9 +22,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the ping-pong ablations")
 	metrics := flag.Bool("metrics", false, "print a cycle-accurate metrics report per ablation point")
 	checkMode := flag.Bool("check", false, "run with the MPB consistency checker (panics on stale-line reads)")
+	faultSpec := flag.String("fault", "", "deterministic fault schedule, e.g. \"seed=7,drop=20,stall=1000000:200000\" (see internal/fault)")
 	flag.Parse()
 	harness.SetParallelism(*parallel)
 	harness.SetConsistencyCheck(*checkMode)
+	check(harness.SetFaultSpec(*faultSpec))
 	obs := harness.EnableObservability(*traceOut, *metrics)
 
 	fmt.Println("== ablation: SIF prefetch streaming (LP/RG + cache) ==")

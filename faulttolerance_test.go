@@ -1,0 +1,191 @@
+package vscc_test
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vscc/internal/fault"
+	"vscc/internal/rcce"
+	"vscc/internal/sim"
+	"vscc/internal/vscc"
+)
+
+// These tests drive the deterministic fault layer (Config.Faults, the
+// -fault flag of cmd/pingpong and cmd/ablate) through a full vSCC
+// system, the way mpbcheck_test.go drives the consistency checker: a
+// crash of the host communication task must be survived through the
+// watchdog, a persistently faulty device must push the protocol off its
+// fast path, an unrecoverable loss must fail with a cycle-stamped error
+// that reruns reproduce byte for byte, and an armed-but-idle schedule
+// must change nothing at all.
+
+// runFaultScenario plays reps cross-device ping-pong rounds of size
+// bytes under scheme and faults, returning the delivered payload check,
+// the system (for stats), and the run error.
+func runFaultScenario(scheme vscc.Scheme, faults *fault.Config, size, reps int) (ok bool, sys *vscc.System, err error) {
+	k := sim.NewKernel()
+	sys, err = vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme, Faults: faults})
+	if err != nil {
+		return false, nil, err
+	}
+	session, err := sys.NewSessionAt([]rcce.Place{{Dev: 0, Core: 0}, {Dev: 1, Core: 0}})
+	if err != nil {
+		return false, nil, err
+	}
+	ok = true
+	err = session.Run(func(r *rcce.Rank) {
+		buf := make([]byte, size)
+		for rep := 0; rep < reps; rep++ {
+			want := make([]byte, size)
+			for i := range want {
+				want[i] = byte(i+rep) ^ 0x5C
+			}
+			if r.ID() == 0 {
+				if err := r.Send(1, want); err != nil {
+					panic(err)
+				}
+				if err := r.Recv(1, buf); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := r.Recv(0, buf); err != nil {
+					panic(err)
+				}
+				if err := r.Send(0, want); err != nil {
+					panic(err)
+				}
+			}
+			if !bytes.Equal(buf, want) {
+				ok = false
+			}
+		}
+	})
+	return ok, sys, err
+}
+
+// TestFaultToleranceCrashRestart crashes the host task mid-transfer:
+// the watchdog must restart it with caches invalidated and the
+// engaged transfers must still deliver intact payloads.
+func TestFaultToleranceCrashRestart(t *testing.T) {
+	cfg := &fault.Config{
+		Seed:     3,
+		CrashAt:  []sim.Cycles{80_000},
+		Recovery: fault.Recovery{WatchdogCycles: 40_000},
+	}
+	ok, sys, err := runFaultScenario(vscc.SchemeCachedGet, cfg, 4096, 10)
+	if err != nil {
+		t.Fatalf("run did not survive the crash: %v", err)
+	}
+	if !ok {
+		t.Fatal("payload corrupted across the crash")
+	}
+	if got := sys.Task.Stats().HostRestarts; got != 1 {
+		t.Errorf("HostRestarts = %d, want 1", got)
+	}
+	if sys.Injector.Stat("recover.watchdog-restart") == 0 {
+		t.Error("no watchdog-restart recovery was traced")
+	}
+}
+
+// TestFaultToleranceDegradation keeps dropping packets for one device
+// until its recovery count crosses DegradeAfter: the protocol must
+// abandon the vDMA fast path (traced as degraded sends) and still
+// deliver every payload through the transparent flag protocol.
+func TestFaultToleranceDegradation(t *testing.T) {
+	cfg := &fault.Config{
+		Seed:       5,
+		DropPer10k: 600,
+		Recovery:   fault.Recovery{DegradeAfter: 3},
+	}
+	ok, sys, err := runFaultScenario(vscc.SchemeVDMA, cfg, 4096, 12)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !ok {
+		t.Fatal("payload corrupted after degradation")
+	}
+	if sys.Injector.Stat("recover.retx") == 0 {
+		t.Error("no retransmission recovery was traced")
+	}
+	if sys.Injector.Stat("recover.degraded-send") == 0 {
+		t.Error("the protocol never degraded despite the fault threshold")
+	}
+}
+
+// TestFaultToleranceLostCompletionError disables the flag write-verify
+// recovery while losing every host flag store: the engaged wait must
+// exhaust its retry ladder and fail with a clear, cycle-stamped error —
+// and a rerun must reproduce it byte for byte.
+func TestFaultToleranceLostCompletionError(t *testing.T) {
+	run := func() error {
+		cfg := &fault.Config{
+			Seed:           9,
+			FlagLossPer10k: 10_000,
+			Recovery: fault.Recovery{
+				VerifyRetries:  -1,
+				WaitBudget:     50_000,
+				MaxWaitRetries: 3,
+			},
+		}
+		_, _, err := runFaultScenario(vscc.SchemeRemotePut, cfg, 4096, 2)
+		return err
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("losing every flag write with verify disabled still completed")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "lost completion after") {
+		t.Errorf("error does not name the exhausted retry ladder:\n%s", msg)
+	}
+	if regexp.MustCompile(`at cycle (\d+)`).FindStringSubmatch(msg) == nil {
+		t.Errorf("error does not report the cycle:\n%s", msg)
+	}
+	err2 := run()
+	if err2 == nil || err2.Error() != msg {
+		t.Errorf("rerun reported a different failure:\nfirst: %s\nrerun: %v", msg, err2)
+	}
+}
+
+// TestFaultToleranceArmedButIdle proves arming the machinery is free: a
+// zero-rate schedule must finish at the exact cycle of a Faults=nil run
+// on every scheme, with an empty event log.
+func TestFaultToleranceArmedButIdle(t *testing.T) {
+	for _, scheme := range []vscc.Scheme{vscc.SchemeHostRouted, vscc.SchemeCachedGet, vscc.SchemeRemotePut, vscc.SchemeVDMA} {
+		run := func(faults *fault.Config) (sim.Cycles, *vscc.System) {
+			k := sim.NewKernel()
+			sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: scheme, Faults: faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			session, err := sys.NewSessionAt([]rcce.Place{{Dev: 0, Core: 0}, {Dev: 1, Core: 0}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = session.Run(func(r *rcce.Rank) {
+				buf := make([]byte, 2048)
+				if r.ID() == 0 {
+					if err := r.Send(1, buf); err != nil {
+						panic(err)
+					}
+				} else if err := r.Recv(0, buf); err != nil {
+					panic(err)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return k.Now(), sys
+		}
+		armed, sys := run(&fault.Config{Seed: 1})
+		bare, _ := run(nil)
+		if armed != bare {
+			t.Errorf("%v: armed-but-idle run finished at cycle %d, fault-free at %d", scheme, armed, bare)
+		}
+		if n := len(sys.Injector.Events()); n != 0 {
+			t.Errorf("%v: idle schedule recorded %d events", scheme, n)
+		}
+	}
+}

@@ -1,0 +1,592 @@
+// Package fault is the deterministic fault injector for the vSCC stack.
+// It decides — from a seed and the simulated clock alone, never the wall
+// clock — when a PCIe SIF packet is dropped, duplicated, delayed or
+// corrupted, when the host communication task stalls or crash-restarts,
+// when a software-cache line is silently corrupted, and when a remote
+// MPB flag write is lost. Every decision comes from a hand-rolled
+// splitmix64 stream keyed by (site, device), so the n-th event at a site
+// always gets the same verdict: a failing schedule replays cycle-exact.
+//
+// The injector only decides; the model layers (internal/pcie,
+// internal/host, internal/scc, internal/vscc) both apply the faults and
+// carry the recovery machinery — sequence-numbered replay, watchdog
+// restart, checksummed cache lines, write-verified flags, and the
+// timeout/retry ladder of DESIGN.md §8. A nil *Injector is fully inert:
+// every decision method on a nil receiver answers "no fault", so the
+// fault-free fast paths stay byte-identical.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+)
+
+// Config selects what to inject. All rates are per 10,000 opportunities;
+// zero disables that fault class. The zero Config injects nothing but
+// still arms the recovery machinery (timeouts, checksums, replay), which
+// is how the identity tests prove the machinery itself is silent.
+type Config struct {
+	// Seed keys every decision stream. Two runs with equal Seed and
+	// equal workloads inject identical faults at identical cycles.
+	Seed uint64
+
+	// PCIe SIF packet faults, applied per posted packet and direction.
+	DropPer10k    int        // packet vanishes after occupying the link
+	DupPer10k     int        // packet delivered twice
+	DelayPer10k   int        // packet held DelayCycles past its arrival
+	CorruptPer10k int        // frame damaged in flight; CRC rejects it
+	DelayCycles   sim.Cycles // extra latency of a delayed packet (default 2000)
+
+	// FlagLossPer10k drops host-side flag stores (≤4 B) into device MPBs.
+	FlagLossPer10k int
+	// CacheCorruptPer10k flips a byte in a software-cache line as it
+	// lands, without updating its checksum.
+	CacheCorruptPer10k int
+	// MMIOCorruptPer10k damages a fused 32 B vDMA register write on the
+	// wire, exercising the command validator.
+	MMIOCorruptPer10k int
+
+	// StallAt freezes the host communication task for a window; CrashAt
+	// crashes it (volatile state — caches, SIF buffers, registers,
+	// streams — is lost) until the watchdog restarts it.
+	StallAt []StallWindow
+	CrashAt []sim.Cycles
+
+	// Recovery tunes the detection/retry machinery; zero fields take
+	// DefaultRecovery values.
+	Recovery Recovery
+}
+
+// StallWindow freezes the host task at cycle At for For cycles.
+type StallWindow struct {
+	At  sim.Cycles
+	For sim.Cycles
+}
+
+// Recovery holds the cycle budgets and retry bounds of the recovery
+// ladder. Zero fields mean "use the default"; see DefaultRecovery.
+type Recovery struct {
+	// RetxTimeout is the base SIF retransmission timeout; attempt n waits
+	// RetxTimeout<<n (exponential backoff). MaxRetx bounds the attempts.
+	RetxTimeout sim.Cycles
+	MaxRetx     int
+
+	// WaitBudget is the base cycle budget of an engaged protocol wait;
+	// each timeout doubles it and re-drives idempotent work, up to
+	// MaxWaitRetries before the wait fails with a clear error.
+	WaitBudget     sim.Cycles
+	MaxWaitRetries int
+
+	// WatchdogCycles is how long the host task stays down after a crash
+	// before the watchdog restarts it.
+	WatchdogCycles sim.Cycles
+
+	// VerifyRetries bounds the read-back/rewrite attempts of a host-side
+	// flag store. -1 disables write-verify entirely (for testing the
+	// lost-completion error path).
+	VerifyRetries int
+
+	// DegradeAfter is the per-device recovery count past which the
+	// protocol abandons its fast path and falls back to transparent
+	// routing. 0 never degrades.
+	DegradeAfter int
+}
+
+// DefaultRecovery returns the recovery parameters used when a Config (or
+// a system without faults) leaves them zero. The budgets are generous:
+// a healthy run never hits them, so arming the machinery is free.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		RetxTimeout:    40_000, // ~4 PCIe round trips
+		MaxRetx:        10,
+		WaitBudget:     20_000_000,
+		MaxWaitRetries: 5,
+		WatchdogCycles: 100_000,
+		VerifyRetries:  8,
+		DegradeAfter:   0,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRecovery. VerifyRetries -1
+// is kept (disabled), as is DegradeAfter 0 (never).
+func (r Recovery) withDefaults() Recovery {
+	d := DefaultRecovery()
+	if r.RetxTimeout == 0 {
+		r.RetxTimeout = d.RetxTimeout
+	}
+	if r.MaxRetx == 0 {
+		r.MaxRetx = d.MaxRetx
+	}
+	if r.WaitBudget == 0 {
+		r.WaitBudget = d.WaitBudget
+	}
+	if r.MaxWaitRetries == 0 {
+		r.MaxWaitRetries = d.MaxWaitRetries
+	}
+	if r.WatchdogCycles == 0 {
+		r.WatchdogCycles = d.WatchdogCycles
+	}
+	if r.VerifyRetries == 0 {
+		r.VerifyRetries = d.VerifyRetries
+	}
+	return r
+}
+
+// PacketVerdict is the injector's decision for one SIF packet. At most
+// one of Drop/Dup/Corrupt is set; Delay composes with none of them.
+type PacketVerdict struct {
+	Drop    bool
+	Dup     bool
+	Corrupt bool
+	Delay   sim.Cycles
+}
+
+// Faulty reports whether any fault was selected.
+func (v PacketVerdict) Faulty() bool { return v.Drop || v.Dup || v.Corrupt || v.Delay > 0 }
+
+// Event is one injection or recovery, stamped with the simulated cycle
+// it happened at. The event log is the reproducibility witness: two runs
+// of the same seeded schedule must produce identical logs.
+type Event struct {
+	Cycle sim.Cycles
+	Kind  string // e.g. "inject.drop", "recover.retx"
+	Site  string // e.g. "pcie.h2d", "host.cache"
+	Dev   int    // device index, -1 when not device-specific
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%d %s %s dev=%d", e.Cycle, e.Kind, e.Site, e.Dev)
+}
+
+// maxEvents caps the in-memory log; past it only counters advance.
+const maxEvents = 4096
+
+// Injector draws fault decisions and records the injection/recovery
+// history. All methods are safe on a nil receiver (no faults, nothing
+// recorded).
+type Injector struct {
+	k    *sim.Kernel
+	cfg  Config
+	rec  Recovery
+	sink *trace.Sink
+
+	streams   map[streamKey]*splitmix
+	recovered map[int]int // per-device recovery count, feeds Degraded
+	stats     map[string]int64
+
+	events  []Event
+	dropped int
+}
+
+type streamKey struct {
+	site string
+	dev  int
+}
+
+// NewInjector builds an injector for kernel k. cfg.Recovery is
+// normalized through DefaultRecovery.
+func NewInjector(k *sim.Kernel, cfg Config) *Injector {
+	if cfg.DelayCycles == 0 {
+		cfg.DelayCycles = 2000
+	}
+	return &Injector{
+		k:         k,
+		cfg:       cfg,
+		rec:       cfg.Recovery.withDefaults(),
+		streams:   make(map[streamKey]*splitmix),
+		recovered: make(map[int]int),
+		stats:     make(map[string]int64),
+	}
+}
+
+// Instrument mirrors every event into sink counters
+// ("fault.inject.drop", "fault.recover.retx", ...).
+func (inj *Injector) Instrument(sink *trace.Sink) {
+	if inj != nil {
+		inj.sink = sink
+	}
+}
+
+// Config returns the injector's configuration; zero on nil.
+func (inj *Injector) Config() Config {
+	if inj == nil {
+		return Config{}
+	}
+	return inj.cfg
+}
+
+// Recovery returns the resolved recovery parameters; DefaultRecovery on
+// nil, so callers need not special-case a fault-free system.
+func (inj *Injector) Recovery() Recovery {
+	if inj == nil {
+		return DefaultRecovery()
+	}
+	return inj.rec
+}
+
+// stream returns the decision stream for (site, dev), creating it from
+// the seed on first use. The per-site keying makes each site's decision
+// sequence independent of every other site's traffic.
+func (inj *Injector) stream(site string, dev int) *splitmix {
+	key := streamKey{site, dev}
+	s, ok := inj.streams[key]
+	if !ok {
+		s = &splitmix{state: inj.cfg.Seed ^ hashSite(site) ^ (uint64(dev+1) * 0x9E3779B97F4A7C15)}
+		inj.streams[key] = s
+	}
+	return s
+}
+
+// roll draws one decision at rate-per-10k from the site's stream.
+func (inj *Injector) roll(site string, dev, per10k int) bool {
+	if per10k <= 0 {
+		return false
+	}
+	return inj.stream(site, dev).next()%10_000 < uint64(per10k)
+}
+
+// Pick returns a deterministic index in [0, n) for the site's next
+// corruption target (which byte to flip). n must be positive.
+func (inj *Injector) Pick(site string, dev, n int) int {
+	if inj == nil || n <= 0 {
+		return 0
+	}
+	return int(inj.stream(site+".pick", dev).next() % uint64(n))
+}
+
+// PacketFault decides the fate of one SIF packet at a site
+// ("pcie.d2h"/"pcie.h2d"). Drop, dup and corrupt are mutually exclusive
+// — one die roll picks among them — while delay rolls separately.
+func (inj *Injector) PacketFault(site string, dev int) PacketVerdict {
+	if inj == nil {
+		return PacketVerdict{}
+	}
+	var v PacketVerdict
+	switch {
+	case inj.roll(site+".drop", dev, inj.cfg.DropPer10k):
+		v.Drop = true
+		inj.note("inject.drop", site, dev)
+	case inj.roll(site+".dup", dev, inj.cfg.DupPer10k):
+		v.Dup = true
+		inj.note("inject.dup", site, dev)
+	case inj.roll(site+".corrupt", dev, inj.cfg.CorruptPer10k):
+		v.Corrupt = true
+		inj.note("inject.corrupt", site, dev)
+	}
+	if !v.Drop && !v.Corrupt && inj.roll(site+".delay", dev, inj.cfg.DelayPer10k) {
+		v.Delay = inj.cfg.DelayCycles
+		inj.note("inject.delay", site, dev)
+	}
+	return v
+}
+
+// LoseFlagWrite decides whether a host-side flag store into device dev's
+// MPB vanishes.
+func (inj *Injector) LoseFlagWrite(dev int) bool {
+	if inj == nil || !inj.roll("scc.flag", dev, inj.cfg.FlagLossPer10k) {
+		return false
+	}
+	inj.note("inject.flagloss", "scc.flag", dev)
+	return true
+}
+
+// CorruptCacheLine decides whether a software-cache line landing for
+// device dev is silently damaged.
+func (inj *Injector) CorruptCacheLine(dev int) bool {
+	if inj == nil || !inj.roll("host.cache", dev, inj.cfg.CacheCorruptPer10k) {
+		return false
+	}
+	inj.note("inject.cachecorrupt", "host.cache", dev)
+	return true
+}
+
+// CorruptMMIO decides whether a fused vDMA register write from device
+// dev is damaged on the wire.
+func (inj *Injector) CorruptMMIO(dev int) bool {
+	if inj == nil || !inj.roll("host.mmio", dev, inj.cfg.MMIOCorruptPer10k) {
+		return false
+	}
+	inj.note("inject.mmiocorrupt", "host.mmio", dev)
+	return true
+}
+
+// RecordInjection logs an injection applied outside the decision methods
+// (host stall/crash windows, which come from the schedule, not a roll).
+func (inj *Injector) RecordInjection(kind, site string, dev int) {
+	if inj != nil {
+		inj.note("inject."+kind, site, dev)
+	}
+}
+
+// RecordRecovery logs one recovery action. dev ≥ 0 also advances that
+// device's recovery count, which drives Degraded.
+func (inj *Injector) RecordRecovery(kind, site string, dev int) {
+	if inj == nil {
+		return
+	}
+	inj.note("recover."+kind, site, dev)
+	if dev >= 0 {
+		inj.recovered[dev]++
+	}
+}
+
+// Degraded reports whether device dev's recovery count has crossed the
+// degradation threshold — the protocol should abandon its fast path.
+func (inj *Injector) Degraded(dev int) bool {
+	if inj == nil || inj.rec.DegradeAfter <= 0 {
+		return false
+	}
+	return inj.recovered[dev] >= inj.rec.DegradeAfter
+}
+
+// note appends to the event log and mirrors into stats and the sink.
+func (inj *Injector) note(kind, site string, dev int) {
+	inj.stats[kind]++
+	if inj.sink.Enabled() {
+		inj.sink.Add("fault."+kind, 1)
+	}
+	if len(inj.events) >= maxEvents {
+		inj.dropped++
+		return
+	}
+	inj.events = append(inj.events, Event{Cycle: inj.k.Now(), Kind: kind, Site: site, Dev: dev})
+}
+
+// Events returns a copy of the event log (nil on a nil injector).
+func (inj *Injector) Events() []Event {
+	if inj == nil {
+		return nil
+	}
+	return append([]Event(nil), inj.events...)
+}
+
+// Stat returns the total count of one event kind, e.g. "inject.drop".
+func (inj *Injector) Stat(kind string) int64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.stats[kind]
+}
+
+// Summary renders the event totals in a stable order — the digest the
+// soak test compares across serial and parallel sweeps.
+func (inj *Injector) Summary() string {
+	if inj == nil {
+		return ""
+	}
+	kinds := make([]string, 0, len(inj.stats))
+	for k := range inj.stats {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s=%d\n", k, inj.stats[k])
+	}
+	if inj.dropped > 0 {
+		fmt.Fprintf(&b, "events-dropped=%d\n", inj.dropped)
+	}
+	return b.String()
+}
+
+// splitmix is splitmix64 (Steele et al., "Fast splittable pseudorandom
+// number generators"): one add and three xor-shifts per draw, chosen
+// over math/rand so model packages stay free of global PRNG state.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// hashSite is FNV-1a over the site name.
+func hashSite(site string) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 0x100000001B3
+	}
+	return h
+}
+
+// ParseSpec parses the -fault flag grammar: comma-separated key=value
+// settings.
+//
+//	seed=N            decision-stream seed
+//	drop=N            SIF drop rate per 10k packets
+//	dup=N             SIF duplicate rate
+//	delay=N[:CYCLES]  SIF delay rate, optional extra cycles (default 2000)
+//	corrupt=N         SIF frame-corruption rate
+//	flagloss=N        host flag-store loss rate
+//	cachecorrupt=N    software-cache line corruption rate
+//	mmio=N            vDMA register-write corruption rate
+//	stall=AT:FOR      freeze the host task at cycle AT for FOR cycles (repeatable)
+//	crash=AT          crash the host task at cycle AT (repeatable)
+//	retx=N            base retransmission timeout [cycles]
+//	maxretx=N         retransmission attempts bound
+//	budget=N          base engaged-wait budget [cycles]
+//	waitretries=N     engaged-wait retry bound
+//	watchdog=N        crash-restart delay [cycles]
+//	verify=N          flag write-verify retries (-1 disables)
+//	degrade=N         per-device recoveries before falling back to routing
+//
+// Example: "seed=42,drop=200,delay=100:5000,crash=400000,degrade=10".
+// An empty spec returns (nil, nil): faults disabled.
+func ParseSpec(spec string) (*Config, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := &Config{}
+	for _, tok := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", tok)
+		}
+		if err := applySetting(cfg, key, val); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+func applySetting(cfg *Config, key, val string) error {
+	atoi := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("fault: %s=%q: %v", key, val, err)
+		}
+		return n, nil
+	}
+	switch key {
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: seed=%q: %v", val, err)
+		}
+		cfg.Seed = n
+	case "drop":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.DropPer10k = n
+	case "dup":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.DupPer10k = n
+	case "delay":
+		rate, cycles, hasCycles := strings.Cut(val, ":")
+		n, err := atoi(rate)
+		if err != nil {
+			return err
+		}
+		cfg.DelayPer10k = n
+		if hasCycles {
+			c, err := atoi(cycles)
+			if err != nil {
+				return err
+			}
+			cfg.DelayCycles = sim.Cycles(c)
+		}
+	case "corrupt":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.CorruptPer10k = n
+	case "flagloss":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.FlagLossPer10k = n
+	case "cachecorrupt":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.CacheCorruptPer10k = n
+	case "mmio":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.MMIOCorruptPer10k = n
+	case "stall":
+		at, dur, ok := strings.Cut(val, ":")
+		if !ok {
+			return fmt.Errorf("fault: stall=%q: want AT:FOR", val)
+		}
+		a, err := atoi(at)
+		if err != nil {
+			return err
+		}
+		d, err := atoi(dur)
+		if err != nil {
+			return err
+		}
+		cfg.StallAt = append(cfg.StallAt, StallWindow{At: sim.Cycles(a), For: sim.Cycles(d)})
+	case "crash":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.CrashAt = append(cfg.CrashAt, sim.Cycles(n))
+	case "retx":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.RetxTimeout = sim.Cycles(n)
+	case "maxretx":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.MaxRetx = n
+	case "budget":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.WaitBudget = sim.Cycles(n)
+	case "waitretries":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.MaxWaitRetries = n
+	case "watchdog":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.WatchdogCycles = sim.Cycles(n)
+	case "verify":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.VerifyRetries = n
+	case "degrade":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.DegradeAfter = n
+	default:
+		return fmt.Errorf("fault: unknown setting %q", key)
+	}
+	return nil
+}

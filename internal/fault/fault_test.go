@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"vscc/internal/sim"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if v := inj.PacketFault("pcie.h2d", 0); v.Faulty() {
+		t.Errorf("nil injector issued a packet fault: %+v", v)
+	}
+	if inj.LoseFlagWrite(0) || inj.CorruptCacheLine(0) || inj.CorruptMMIO(0) {
+		t.Error("nil injector injected a fault")
+	}
+	if inj.Degraded(0) {
+		t.Error("nil injector reports degradation")
+	}
+	inj.RecordRecovery("retx", "pcie.h2d", 0) // must not panic
+	inj.RecordInjection("stall", "host", -1)
+	if got := inj.Recovery(); got != DefaultRecovery() {
+		t.Errorf("nil injector Recovery() = %+v, want defaults", got)
+	}
+	if inj.Events() != nil || inj.Stat("inject.drop") != 0 || inj.Summary() != "" {
+		t.Error("nil injector has history")
+	}
+	if inj.Pick("x", 0, 8) != 0 {
+		t.Error("nil injector Pick != 0")
+	}
+}
+
+// Equal seeds must reproduce the identical verdict sequence; a different
+// seed must diverge. This is the property every recovery test leans on.
+func TestStreamsAreDeterministicPerSeed(t *testing.T) {
+	draw := func(seed uint64) []PacketVerdict {
+		inj := NewInjector(sim.NewKernel(), Config{Seed: seed, DropPer10k: 2000, DupPer10k: 1000, DelayPer10k: 1000, CorruptPer10k: 500})
+		var out []PacketVerdict
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.PacketFault("pcie.h2d", 1))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different verdict sequences")
+	}
+	if reflect.DeepEqual(a, draw(43)) {
+		t.Fatal("different seeds produced identical verdict sequences")
+	}
+	faulty := 0
+	for _, v := range a {
+		if v.Faulty() {
+			faulty++
+		}
+		if v.Drop && (v.Dup || v.Corrupt) || v.Dup && v.Corrupt {
+			t.Fatalf("verdict mixes exclusive faults: %+v", v)
+		}
+	}
+	if faulty == 0 || faulty == len(a) {
+		t.Errorf("%d/%d verdicts faulty; rates are not being applied", faulty, len(a))
+	}
+}
+
+// Streams are keyed by (site, dev): traffic on one site must not perturb
+// decisions on another.
+func TestSiteStreamsAreIndependent(t *testing.T) {
+	seq := func(interleave bool) []bool {
+		inj := NewInjector(sim.NewKernel(), Config{Seed: 7, FlagLossPer10k: 3000})
+		var out []bool
+		for i := 0; i < 100; i++ {
+			if interleave {
+				inj.PacketFault("pcie.d2h", 0) // extra traffic elsewhere
+			}
+			out = append(out, inj.LoseFlagWrite(2))
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(false), seq(true)) {
+		t.Fatal("flag-loss stream perturbed by packet traffic on another site")
+	}
+}
+
+func TestRatesAreExtremes(t *testing.T) {
+	inj := NewInjector(sim.NewKernel(), Config{DropPer10k: 10_000})
+	for i := 0; i < 50; i++ {
+		if !inj.PacketFault("pcie.h2d", 0).Drop {
+			t.Fatal("rate 10000/10k did not always drop")
+		}
+	}
+	if inj.Stat("inject.drop") != 50 {
+		t.Errorf("drop stat = %d, want 50", inj.Stat("inject.drop"))
+	}
+	none := NewInjector(sim.NewKernel(), Config{})
+	for i := 0; i < 50; i++ {
+		if none.PacketFault("pcie.h2d", 0).Faulty() {
+			t.Fatal("zero rates injected a fault")
+		}
+	}
+	if len(none.Events()) != 0 {
+		t.Error("zero-rate injector logged events")
+	}
+}
+
+func TestDegradedThreshold(t *testing.T) {
+	inj := NewInjector(sim.NewKernel(), Config{Recovery: Recovery{DegradeAfter: 3}})
+	for i := 0; i < 2; i++ {
+		inj.RecordRecovery("retx", "pcie.h2d", 1)
+	}
+	if inj.Degraded(1) {
+		t.Error("degraded below threshold")
+	}
+	inj.RecordRecovery("wait-timeout", "vscc", 1)
+	if !inj.Degraded(1) {
+		t.Error("not degraded at threshold")
+	}
+	if inj.Degraded(0) {
+		t.Error("device 0 degraded without recoveries")
+	}
+	// Host-level recoveries (dev -1) never count toward degradation.
+	off := NewInjector(sim.NewKernel(), Config{Recovery: Recovery{DegradeAfter: 1}})
+	off.RecordRecovery("watchdog", "host", -1)
+	if off.Degraded(-1) || off.Degraded(0) {
+		t.Error("dev=-1 recovery drove degradation")
+	}
+}
+
+func TestRecoveryDefaults(t *testing.T) {
+	r := (Recovery{}).withDefaults()
+	if r != DefaultRecovery() {
+		t.Errorf("zero Recovery resolved to %+v, want defaults", r)
+	}
+	r = (Recovery{VerifyRetries: -1, WaitBudget: 5, DegradeAfter: 2}).withDefaults()
+	if r.VerifyRetries != -1 {
+		t.Error("VerifyRetries=-1 (disabled) was overwritten")
+	}
+	if r.WaitBudget != 5 || r.DegradeAfter != 2 {
+		t.Error("explicit fields overwritten by defaults")
+	}
+	if r.MaxRetx != DefaultRecovery().MaxRetx {
+		t.Error("zero MaxRetx not defaulted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42, drop=200,dup=50,delay=100:5000,corrupt=20,flagloss=9,cachecorrupt=8,mmio=7,stall=50000:20000,stall=90000:1000,crash=400000,retx=111,maxretx=3,budget=222,waitretries=4,watchdog=333,verify=-1,degrade=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Config{
+		Seed: 42, DropPer10k: 200, DupPer10k: 50, DelayPer10k: 100, DelayCycles: 5000,
+		CorruptPer10k: 20, FlagLossPer10k: 9, CacheCorruptPer10k: 8, MMIOCorruptPer10k: 7,
+		StallAt: []StallWindow{{At: 50000, For: 20000}, {At: 90000, For: 1000}},
+		CrashAt: []sim.Cycles{400000},
+		Recovery: Recovery{
+			RetxTimeout: 111, MaxRetx: 3, WaitBudget: 222, MaxWaitRetries: 4,
+			WatchdogCycles: 333, VerifyRetries: -1, DegradeAfter: 10,
+		},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("ParseSpec:\n got %+v\nwant %+v", cfg, want)
+	}
+	if cfg, err := ParseSpec("  "); err != nil || cfg != nil {
+		t.Errorf("empty spec = (%v, %v), want (nil, nil)", cfg, err)
+	}
+	for _, bad := range []string{"drop", "bogus=1", "drop=x", "stall=5", "stall=a:b", "seed=-1", "delay=1:x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEventLogCapsAndSummary(t *testing.T) {
+	inj := NewInjector(sim.NewKernel(), Config{FlagLossPer10k: 10_000})
+	for i := 0; i < maxEvents+10; i++ {
+		inj.LoseFlagWrite(0)
+	}
+	if len(inj.Events()) != maxEvents {
+		t.Errorf("event log holds %d entries, want cap %d", len(inj.Events()), maxEvents)
+	}
+	if inj.Stat("inject.flagloss") != int64(maxEvents+10) {
+		t.Errorf("stat = %d, want %d", inj.Stat("inject.flagloss"), maxEvents+10)
+	}
+	sum := inj.Summary()
+	for _, want := range []string{"inject.flagloss=4106\n", "events-dropped=10\n"} {
+		if !contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	ev := inj.Events()[0]
+	if ev.Kind != "inject.flagloss" || ev.Site != "scc.flag" || ev.Dev != 0 {
+		t.Errorf("event = %v", ev)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -22,6 +22,7 @@ func SetConsistencyCheck(on bool) bool { return consistencyCheck.Swap(on) }
 // config. Every vscc.NewSystem call in this package goes through it.
 func sysConfig(cfg vscc.Config) vscc.Config {
 	cfg.Check = consistencyCheck.Load()
+	cfg.Faults = faultConfig.Load()
 	return cfg
 }
 

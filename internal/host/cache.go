@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"vscc/internal/mem"
 	"vscc/internal/sim"
@@ -28,6 +29,12 @@ type cacheEntry struct {
 	// pending counts in-flight prefetch bursts.
 	pending int
 	cond    *sim.Cond
+
+	// track enables per-line checksums (sums), kept only when fault
+	// injection is armed: a line whose stored bytes no longer match its
+	// checksum was corrupted in host memory and must not be served.
+	track bool
+	sums  []uint32
 }
 
 func newCacheEntry(k *sim.Kernel, rg *Region) *cacheEntry {
@@ -45,11 +52,31 @@ func (e *cacheEntry) lineValid(off int) bool {
 	return e.valid[(off-e.rg.Off)/mem.LineSize]
 }
 
-// markValid validates the lines covering [off, off+n) (absolute).
+// markValid validates the lines covering [off, off+n) (absolute),
+// recomputing their checksums when tracking is on.
 func (e *cacheEntry) markValid(off, n int) {
 	for o := off; o < off+n; o += mem.LineSize {
-		e.valid[(o-e.rg.Off)/mem.LineSize] = true
+		i := (o - e.rg.Off) / mem.LineSize
+		e.valid[i] = true
+		if e.track {
+			if e.sums == nil {
+				e.sums = make([]uint32, len(e.valid))
+			}
+			rel := i * mem.LineSize
+			e.sums[i] = crc32.ChecksumIEEE(e.data[rel : rel+mem.LineSize])
+		}
 	}
+}
+
+// lineClean reports whether the line at absolute offset off still
+// matches its checksum. Always true when tracking is off.
+func (e *cacheEntry) lineClean(off int) bool {
+	if !e.track || e.sums == nil {
+		return true
+	}
+	i := (off - e.rg.Off) / mem.LineSize
+	rel := i * mem.LineSize
+	return e.sums[i] == crc32.ChecksumIEEE(e.data[rel:rel+mem.LineSize])
 }
 
 // invalidate drops lines overlapping [off, off+n) (absolute) and clips
@@ -79,7 +106,16 @@ type sifBuffer struct {
 	capLines int
 	cond     *sim.Cond
 
-	hits, inserts, evictions uint64
+	// gens counts invalidations per (dev, tile); genAll counts full
+	// resets. A streamed line captures genOf when it is posted; if an
+	// invalidate (or crash reset) lands while the line is still in
+	// flight, the arrival is discarded — otherwise a delayed line from
+	// before the owner's invalidate would reappear in the buffer and
+	// serve stale data.
+	gens   map[uint32]uint64
+	genAll uint64
+
+	hits, inserts, evictions, staleDiscards uint64
 }
 
 func newSIFBuffer(k *sim.Kernel, dev, capLines int) *sifBuffer {
@@ -87,7 +123,13 @@ func newSIFBuffer(k *sim.Kernel, dev, capLines int) *sifBuffer {
 		lines:    make(map[uint64][]byte),
 		capLines: capLines,
 		cond:     sim.NewCond(k, fmt.Sprintf("sifbuf.d%d", dev)),
+		gens:     make(map[uint32]uint64),
 	}
+}
+
+// genOf returns the current insert generation for lines of (dev, tile).
+func (b *sifBuffer) genOf(dev, tile int) uint64 {
+	return b.genAll + b.gens[uint32(dev)<<16|uint32(tile)]
 }
 
 // insert adds a line copy, evicting the oldest when full, and wakes
@@ -126,8 +168,31 @@ func (b *sifBuffer) take(key uint64) ([]byte, bool) {
 	return data, true
 }
 
+// insertIfFresh adds a line only if no invalidation of its region
+// happened since gen was captured; a stale in-flight line is dropped on
+// the floor (its reader falls back to the slow path).
+func (b *sifBuffer) insertIfFresh(gen uint64, dev, tile int, key uint64, data []byte) bool {
+	if gen != b.genOf(dev, tile) {
+		b.staleDiscards++
+		b.cond.Broadcast() // readers parked on this line must re-check
+		return false
+	}
+	b.insert(key, data)
+	return true
+}
+
+// reset drops every buffered line — the crash-restart path: the SIF
+// response buffer is volatile host-task state.
+func (b *sifBuffer) reset() {
+	clear(b.lines)
+	b.order = b.order[:0]
+	b.genAll++
+	b.cond.Broadcast()
+}
+
 // invalidateRange drops buffered lines of (dev, tile, [off, off+n)).
 func (b *sifBuffer) invalidateRange(dev, tile, off, n int) {
+	b.gens[uint32(dev)<<16|uint32(tile)]++
 	for o := off &^ (mem.LineSize - 1); o < off+n; o += mem.LineSize {
 		key := lineKey(dev, tile, o)
 		if _, ok := b.lines[key]; ok {

@@ -2,8 +2,10 @@ package host
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"vscc/internal/mem"
+	"vscc/internal/scc"
 )
 
 // The vDMA controller is programmed through memory-mapped registers
@@ -96,6 +98,43 @@ func decodeBank(b []byte) BankCommand {
 		NotifyVal: b[26],
 		ComplVal:  b[27],
 	}
+}
+
+// validate rejects a command whose decoded fields cannot describe a
+// legal operation — the backstop that keeps a corrupted register image
+// (MMIO corruption, partial programming) from crashing the host task or
+// scribbling on the wrong device.
+func (c BankCommand) validate(numDevs int) error {
+	switch c.Cmd {
+	case CmdCopy, CmdUpdate, CmdInvalidate:
+	default:
+		return fmt.Errorf("host: unknown command %d", c.Cmd)
+	}
+	if c.Count <= 0 || c.Count > mem.LMBSize {
+		return fmt.Errorf("host: command count %d out of range", c.Count)
+	}
+	if c.SrcOff < 0 || c.SrcOff+c.Count > mem.LMBSize {
+		return fmt.Errorf("host: source range [%d,%d) outside LMB", c.SrcOff, c.SrcOff+c.Count)
+	}
+	if c.Cmd != CmdCopy {
+		return nil
+	}
+	if c.DstDev < 0 || c.DstDev >= numDevs {
+		return fmt.Errorf("host: destination device %d out of range", c.DstDev)
+	}
+	if c.DstTile < 0 || c.DstTile >= scc.NumTiles {
+		return fmt.Errorf("host: destination tile %d out of range", c.DstTile)
+	}
+	if c.DstOff < 0 || c.DstOff+c.Count > mem.LMBSize {
+		return fmt.Errorf("host: destination range [%d,%d) outside LMB", c.DstOff, c.DstOff+c.Count)
+	}
+	if c.Flags&FlagNotifyDest != 0 && (c.NotifyOff < 0 || c.NotifyOff >= mem.LMBSize) {
+		return fmt.Errorf("host: notify offset %d outside LMB", c.NotifyOff)
+	}
+	if c.Flags&FlagCompletion != 0 && (c.ComplOff < 0 || c.ComplOff >= mem.LMBSize) {
+		return fmt.Errorf("host: completion offset %d outside LMB", c.ComplOff)
+	}
+	return nil
 }
 
 // registerFile holds the per-device, per-core banks of one host register

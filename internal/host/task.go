@@ -3,6 +3,7 @@ package host
 import (
 	"fmt"
 
+	"vscc/internal/fault"
 	"vscc/internal/mem"
 	"vscc/internal/pcie"
 	"vscc/internal/scc"
@@ -74,6 +75,11 @@ type Stats struct {
 	VDMACopies     uint64
 	WCBFlushes     uint64
 	FlagFences     uint64
+	// RejectedCommands counts register commands that failed validation
+	// (corrupted or garbage programming); HostRestarts counts watchdog
+	// recoveries of the communication task.
+	RejectedCommands uint64
+	HostRestarts     uint64
 }
 
 // Task is the vSCC communication task: the host-resident engine that
@@ -114,6 +120,19 @@ type Task struct {
 
 	stats Stats
 
+	// Fault injection (nil = fault-free; every fault path short-circuits).
+	faults *fault.Injector
+	rec    fault.Recovery
+	// gate models the communication task's liveness: stall windows close
+	// it temporarily; a crash closes it until the watchdog restart. Open
+	// the whole run when no faults are armed.
+	gate *sim.Gate
+	// pendingCmds queues register commands triggered while the gate is
+	// closed: the register write itself lands in host RAM regardless, but
+	// nobody acts on the doorbell. A stall drains the queue on resume; a
+	// crash loses it (the device-side retry ladder re-programs).
+	pendingCmds []BankCommand
+
 	// Observability (nil sink = disabled, zero overhead). fwdTracks
 	// carries the per-device forwarder-daemon occupancy tracks; wcbGauges
 	// the per-device in-flight flush-burst gauge names; vdmaInflight the
@@ -144,7 +163,10 @@ func New(k *sim.Kernel, fabric *pcie.Fabric, chips []*scc.Chip, params Params) (
 		wcbs:      make(map[*Region]*hostWCB),
 		streams:   make(map[streamKey]*stream),
 		vdmaChans: make(map[[2]int]*vdmaChannel),
+		rec:       fault.DefaultRecovery(),
+		gate:      sim.NewGate(k, "commtask.alive"),
 	}
+	t.gate.Open()
 	for d := range chips {
 		bufLines := params.SIFBufferLines
 		if bufLines <= 0 {
@@ -176,6 +198,7 @@ func (t *Task) Register(rg *Region) error {
 	switch rg.Mode {
 	case ModeCached:
 		e := newCacheEntry(t.Kernel, rg)
+		e.track = t.faults != nil
 		t.caches[rg] = e
 		t.cacheList = append(t.cacheList, e)
 	case ModeWriteCombining:
@@ -188,6 +211,125 @@ func (t *Task) Register(rg *Region) error {
 
 // Stats returns a snapshot of the activity counters.
 func (t *Task) Stats() Stats { return t.stats }
+
+// SetFaults arms fault injection on the communication task: software
+// cache lines gain integrity checksums, small host->LMB writes become
+// write-verified, and the injector's stall windows and crash points are
+// scheduled against the task's liveness gate.
+func (t *Task) SetFaults(inj *fault.Injector) {
+	if inj == nil {
+		return
+	}
+	t.faults = inj
+	t.rec = inj.Recovery()
+	for _, e := range t.cacheList {
+		e.track = true
+	}
+	cfg := inj.Config()
+	for _, w := range cfg.StallAt {
+		w := w
+		t.Kernel.At(w.At, func() {
+			if !t.gate.IsOpen() {
+				return // already down (overlapping window or crash)
+			}
+			inj.RecordInjection("stall", "host", -1)
+			t.gate.Close()
+			t.Kernel.After(w.For, func() { t.reopen("stall-resume") })
+		})
+	}
+	for _, at := range cfg.CrashAt {
+		t.Kernel.At(at, func() {
+			if !t.gate.IsOpen() {
+				return
+			}
+			inj.RecordInjection("crash", "host", -1)
+			t.gate.Close()
+			t.Kernel.After(t.rec.WatchdogCycles, t.restart)
+		})
+	}
+}
+
+// reopen resumes the task after a stall: deferred doorbells execute
+// first (inline invalidates land before any blocked reader resumes),
+// then the gate opens.
+func (t *Task) reopen(kind string) {
+	cmds := t.pendingCmds
+	t.pendingCmds = nil
+	for _, cmd := range cmds {
+		t.execute(cmd)
+	}
+	t.faults.RecordRecovery(kind, "host", -1)
+	t.gate.Open()
+}
+
+// restart is the watchdog recovery path: the communication task comes
+// back up with its volatile state gone — software caches, SIF response
+// buffers, streams, register files and deferred doorbells are reset.
+// The delivery queues survive (they are journaled in host RAM and
+// replayed), and in-flight DMA descriptors complete on the engine.
+func (t *Task) restart() {
+	for _, cmd := range t.pendingCmds {
+		t.faults.RecordInjection("mmio-lost", "host.mmio", cmd.SrcDev)
+	}
+	t.pendingCmds = nil
+	for _, e := range t.cacheList {
+		e.invalidate(e.rg.Off, e.rg.Len)
+		e.hotEnd = 0
+	}
+	for _, sb := range t.sifBufs {
+		sb.reset()
+	}
+	for _, st := range t.streamLst {
+		st.active = false
+	}
+	t.regs = make(map[int]*registerFile)
+	t.stats.HostRestarts++
+	t.faults.RecordRecovery("watchdog-restart", "host", -1)
+	t.gate.Open()
+}
+
+// cacheClean verifies the checksum of a cached line before it is served.
+// A mismatch means the line was corrupted in host memory: drop it (the
+// reader falls back to a path that refetches correct data) and count the
+// recovery.
+func (t *Task) cacheClean(e *cacheEntry, off int) bool {
+	if e.lineClean(off) {
+		return true
+	}
+	e.invalidate(off, mem.LineSize)
+	t.faults.RecordRecovery("cache-checksum", "host.cache", e.rg.Dev)
+	return false
+}
+
+// hostWrite lands bytes in a device LMB. With faults armed, flag-sized
+// writes are read back and re-issued until they stick — the recovery for
+// lost remote MPB flag writes, which the §3.1 flag protocol otherwise
+// has no way to detect.
+func (t *Task) hostWrite(dev, tile, off int, data []byte) {
+	chip := t.Chips[dev]
+	chip.HostWriteLMB(tile, off, data)
+	if t.faults == nil || t.rec.VerifyRetries < 0 || len(data) > 4 {
+		return
+	}
+	check := make([]byte, len(data))
+	for a := 0; ; a++ {
+		chip.HostReadLMB(tile, off, check)
+		if string(check) == string(data) {
+			if a > 0 {
+				t.faults.RecordRecovery("flag-rewrite", "scc.flag", dev)
+			}
+			return
+		}
+		if a >= t.rec.VerifyRetries {
+			attempts := a
+			t.Kernel.Spawn("host.flag-verify-fail", func(p *sim.Proc) {
+				panic(fmt.Sprintf("host: flag write dev %d tile %d off %d failed after %d verify attempts", dev, tile, off, attempts))
+			})
+			return
+		}
+		chip.HostWriteLMB(tile, off, data)
+	}
+}
 
 // Instrument attaches an observability sink: the communication task then
 // records software-cache hits and misses, SIF packets, PCIe round trips,
@@ -256,12 +398,13 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
 	p.Delay(t.Fabric.Params.HostOpCycles)
+	t.gate.Wait(p)
 	if rg != nil && rg.Mode == ModeCached {
 		e := t.caches[rg]
 		for !e.lineValid(off) && e.pending > 0 {
 			e.cond.Wait(p)
 		}
-		if e.lineValid(off) {
+		if e.lineValid(off) && t.cacheClean(e, off) {
 			rel := off - rg.Off
 			copy(buf, e.data[rel:rel+mem.LineSize])
 			t.startStream(srcDev, rg, off+mem.LineSize)
@@ -314,8 +457,11 @@ func (t *Task) startStream(readerDev int, rg *Region, fromOff int) {
 func (t *Task) runStream(sp *sim.Proc, st *stream) {
 	e := t.caches[st.rg]
 	sb := t.sifBufs[st.readerDev]
-	h2d := t.Fabric.Link(st.readerDev).H2D
 	for st.active && st.nextOff < st.rg.Off+e.hotEnd {
+		t.gate.Wait(sp)
+		if !st.active {
+			break
+		}
 		if !e.lineValid(st.nextOff) {
 			if e.pending > 0 {
 				e.cond.Wait(sp)
@@ -323,14 +469,25 @@ func (t *Task) runStream(sp *sim.Proc, st *stream) {
 			}
 			break
 		}
+		if !t.cacheClean(e, st.nextOff) {
+			continue // line dropped; the loop re-evaluates validity
+		}
 		off := st.nextOff
 		st.nextOff += mem.LineSize
 		rel := off - st.rg.Off
 		data := make([]byte, mem.LineSize)
 		copy(data, e.data[rel:])
 		key := lineKey(st.rg.Dev, st.rg.Tile, off)
-		h2d.TransferAsync(sp, mem.LineSize+t.Params.StreamHeaderBytes, func() {
-			sb.insert(key, data)
+		// Capture the region's invalidation generation at post time: a
+		// line that is still in flight (e.g. delayed by an injected SIF
+		// fault) when the owner's next invalidate lands must not reappear
+		// in the buffer, or the reader would be served the previous
+		// message's bytes.
+		gen := sb.genOf(st.rg.Dev, st.rg.Tile)
+		t.Fabric.PostH2D(sp, st.readerDev, mem.LineSize+t.Params.StreamHeaderBytes, func() {
+			if !sb.insertIfFresh(gen, st.rg.Dev, st.rg.Tile, key, data) {
+				t.sink.Add("host.stale_line_discard", 1)
+			}
 		})
 		t.stats.StreamedLines++
 		t.sink.Add("host.streamed_lines", 1)
@@ -353,7 +510,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	if rg != nil && rg.Mode == ModeWriteCombining && rg.Kind == KindData {
 		d := snapshot(data)
 		w := t.wcbs[rg]
-		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
 			w.absorb(off, d, mask)
 			t.maybeFlushWCB(w, false)
 		})
@@ -369,7 +526,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	posted := isFlag || (rg != nil && rg.Mode == ModePosted)
 	if posted && t.Fabric.Ack != pcie.AckRemote {
 		d := snapshot(data)
-		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
 			t.enqueueDeliver(dev, tile, off, d, mask, true)
 		})
 		t.stats.PostedWrites++
@@ -382,7 +539,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		// delivery proceeds asynchronously through the host. The core
 		// sees only SIF backpressure.
 		d := snapshot(data)
-		link.D2H.TransferAsync(p, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
 			t.enqueueDeliver(dev, tile, off, d, mask, isFlag)
 		})
 		t.stats.PostedWrites++
@@ -392,6 +549,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		// delivery to the target device continues asynchronously.
 		link.D2H.Transfer(p, mem.LineSize)
 		p.Delay(t.Fabric.Params.HostOpCycles)
+		t.gate.Wait(p)
 		t.enqueueDeliver(dev, tile, off, snapshot(data), mask, isFlag)
 		link.H2D.Transfer(p, t.Params.AckBytes)
 		t.stats.SyncWrites++
@@ -402,6 +560,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		// remote device — the previous prototype's two-round-trip path.
 		link.D2H.Transfer(p, mem.LineSize)
 		p.Delay(t.Fabric.Params.HostOpCycles)
+		t.gate.Wait(p)
 		if isFlag {
 			t.fence(p, dev)
 		}
@@ -437,15 +596,15 @@ func (t *Task) enqueueDeliver(dev, tile, off int, data []byte, mask uint32, isFl
 // data (§3.1).
 func (t *Task) runForwarder(p *sim.Proc, dev int) {
 	q := t.deliverQ[dev]
-	h2d := t.Fabric.Link(dev).H2D
 	for {
 		item := q.Pop(p)
+		t.gate.Wait(p)
 		t0 := p.Now()
 		if item.isFlag {
 			t.fence(p, dev)
 		}
 		it := item
-		h2d.TransferAsync(p, mem.LineSize, func() {
+		t.Fabric.PostH2D(p, dev, mem.LineSize, func() {
 			t.deliver(dev, it.tile, it.off, it.data, it.mask)
 		})
 		// Per-thread occupancy: how long this daemon thread was busy with
@@ -473,7 +632,7 @@ func (t *Task) deliver(dev, tile, off int, data []byte, mask uint32) {
 		for j < mem.LineSize && j < len(data) && mask&(1<<uint(j)) != 0 {
 			j++
 		}
-		t.Chips[dev].HostWriteLMB(tile, off+i, data[i:j])
+		t.hostWrite(dev, tile, off+i, data[i:j])
 		i = j
 	}
 	t.invalidateHostCopies(dev, tile, off, mem.LineSize)
@@ -553,9 +712,9 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 		t.sink.Gauge(t.wcbGauges[dev], int64(t.wcbPending[dev]))
 	}
 	t.Kernel.Spawn(fmt.Sprintf("wcbflush.d%d", dev), func(fp *sim.Proc) {
+		t.gate.Wait(fp)
 		// Each flush programs one DMA descriptor on the host.
 		fp.Delay(t.Fabric.Params.DMASetupCycles)
-		h2d := t.Fabric.Link(dev).H2D
 		for _, span := range spans {
 			for o := 0; o < len(span.data); o += t.Params.DMABurstBytes {
 				n := len(span.data) - o
@@ -564,7 +723,7 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 				}
 				off := span.off + o
 				data := span.data[o : o+n]
-				h2d.TransferAsync(fp, n+t.Params.StreamHeaderBytes, func() {
+				t.Fabric.PostH2D(fp, dev, n+t.Params.StreamHeaderBytes, func() {
 					t.deliverBulk(dev, w.rg.Tile, off, data)
 					t.wcbPending[dev]--
 					if t.sink != nil {
@@ -585,16 +744,25 @@ func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, dat
 	t.meshToSIF(p, srcDev, srcCore, mem.LineSize)
 	p.Delay(t.Fabric.Params.SIFAckCycles)
 	d := snapshot(data)
-	t.Fabric.Link(srcDev).D2H.TransferAsync(p, mem.LineSize, func() {
+	t.Fabric.PostD2H(p, srcDev, mem.LineSize, func() {
 		t.Kernel.After(t.Fabric.Params.HostOpCycles, func() {
+			if t.faults.CorruptMMIO(srcDev) {
+				d[t.faults.Pick("host.mmio", srcDev, len(d))] ^= 0x20
+			}
 			rf := t.registerFile(hostDev)
 			core := off / BankBytes
 			cmd, trigger := rf.write(core, d, mask)
-			if trigger {
-				cmd.SrcDev = srcDev
-				cmd.SrcCore = srcCore
-				t.execute(cmd)
+			if !trigger {
+				return
 			}
+			cmd.SrcDev = srcDev
+			cmd.SrcCore = srcCore
+			if t.gate.IsOpen() {
+				t.execute(cmd)
+				return
+			}
+			t.faults.RecordInjection("mmio-deferred", "host.mmio", srcDev)
+			t.pendingCmds = append(t.pendingCmds, cmd)
 		})
 	})
 }
@@ -605,6 +773,7 @@ func (t *Task) MMIORead(p *sim.Proc, srcDev, srcCore, hostDev, off int, buf []by
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
 	p.Delay(t.Fabric.Params.HostOpCycles)
+	t.gate.Wait(p)
 	bank := t.registerFile(hostDev).read(off / BankBytes)
 	link.H2D.Transfer(p, t.Params.RespBytes)
 	rel := off % BankBytes
@@ -620,8 +789,16 @@ func (t *Task) registerFile(dev int) *registerFile {
 	return rf
 }
 
-// execute dispatches a triggered register command.
+// execute dispatches a triggered register command after validation; a
+// command whose fields fail the sanity check (corrupted programming) is
+// rejected rather than executed, and the device-side protocol recovers
+// by re-programming.
 func (t *Task) execute(cmd BankCommand) {
+	if err := cmd.validate(len(t.Chips)); err != nil {
+		t.stats.RejectedCommands++
+		t.faults.RecordRecovery("mmio-reject", "host.mmio", cmd.SrcDev)
+		return
+	}
 	switch cmd.Cmd {
 	case CmdCopy:
 		t.stats.VDMACopies++
@@ -686,7 +863,7 @@ func (t *Task) killStreams(rg *Region) {
 // copy in DMA bursts.
 func (t *Task) runPrefetch(p *sim.Proc, rg *Region, off, count int) {
 	e := t.caches[rg]
-	d2h := t.Fabric.Link(rg.Dev).D2H
+	t.gate.Wait(p)
 	p.Delay(t.Fabric.Params.DMASetupCycles)
 	end := off + count
 	if end > rg.Off+rg.Len {
@@ -700,10 +877,15 @@ func (t *Task) runPrefetch(p *sim.Proc, rg *Region, off, count int) {
 		oo, nn := o, n
 		e.pending++
 		t.sink.Add("host.dma_bursts", 1)
-		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
+		t.Fabric.PostD2H(p, rg.Dev, t.Params.readBytes(nn), func() {
 			rel := oo - rg.Off
 			t.Chips[rg.Dev].HostReadLMB(rg.Tile, oo, e.data[rel:rel+nn])
 			e.markValid(oo, nn)
+			// Injected host-memory corruption: flip one byte after the
+			// checksum was taken, so cacheClean catches it on first use.
+			if t.faults.CorruptCacheLine(rg.Dev) {
+				e.data[rel+t.faults.Pick("host.cache", rg.Dev, nn)] ^= 0x80
+			}
 			e.pending--
 			e.cond.Broadcast()
 		})
@@ -733,10 +915,10 @@ func (t *Task) vdmaChannel(dev, core int) *vdmaChannel {
 // of back-to-back transactions may overlap; the notify/completion flags
 // are issued in strict programming order via the channel ticket.
 func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uint64) {
+	t.gate.Wait(p)
 	p.Delay(t.Fabric.Params.DMASetupCycles)
 	srcTile := scc.CoreTile(cmd.SrcCore)
 	srcChip := t.Chips[cmd.SrcDev]
-	d2h := t.Fabric.Link(cmd.SrcDev).D2H
 	for o := 0; o < cmd.Count; o += t.Params.DMABurstBytes {
 		n := cmd.Count - o
 		if n > t.Params.DMABurstBytes {
@@ -747,12 +929,11 @@ func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uin
 		last := o+n >= cmd.Count
 		nn := n
 		t.sink.Add("host.dma_bursts", 1)
-		d2h.TransferAsync(p, t.Params.readBytes(nn), func() {
+		t.Fabric.PostD2H(p, cmd.SrcDev, t.Params.readBytes(nn), func() {
 			data := make([]byte, nn)
 			srcChip.HostReadLMB(srcTile, so, data)
 			t.Kernel.Spawn("vdma.push", func(pp *sim.Proc) {
-				h2d := t.Fabric.Link(cmd.DstDev).H2D
-				h2d.TransferAsync(pp, nn+t.Params.StreamHeaderBytes, func() {
+				t.Fabric.PostH2D(pp, cmd.DstDev, nn+t.Params.StreamHeaderBytes, func() {
 					t.deliverBulk(cmd.DstDev, cmd.DstTile, do, data)
 					if last {
 						t.Kernel.Spawn("vdma.finish", func(fp *sim.Proc) {
@@ -771,14 +952,15 @@ func (t *Task) finishVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket 
 	for ch.served != ticket {
 		ch.cond.Wait(p)
 	}
+	t.gate.Wait(p)
 	if cmd.Flags&FlagNotifyDest != 0 {
-		t.Fabric.Link(cmd.DstDev).H2D.TransferAsync(p, t.Params.AckBytes, func() {
-			t.Chips[cmd.DstDev].HostWriteLMB(cmd.DstTile, cmd.NotifyOff, []byte{cmd.NotifyVal})
+		t.Fabric.PostH2D(p, cmd.DstDev, t.Params.AckBytes, func() {
+			t.hostWrite(cmd.DstDev, cmd.DstTile, cmd.NotifyOff, []byte{cmd.NotifyVal})
 		})
 	}
 	if cmd.Flags&FlagCompletion != 0 {
-		t.Fabric.Link(cmd.SrcDev).H2D.TransferAsync(p, t.Params.AckBytes, func() {
-			t.Chips[cmd.SrcDev].HostWriteLMB(scc.CoreTile(cmd.SrcCore), cmd.ComplOff, []byte{cmd.ComplVal})
+		t.Fabric.PostH2D(p, cmd.SrcDev, t.Params.AckBytes, func() {
+			t.hostWrite(cmd.SrcDev, scc.CoreTile(cmd.SrcCore), cmd.ComplOff, []byte{cmd.ComplVal})
 		})
 	}
 	ch.served = ticket + 1
@@ -790,7 +972,7 @@ func (t *Task) finishVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket 
 // deliverBulk lands a contiguous multi-line write (DMA burst) in a
 // device's LMB and keeps host copies consistent.
 func (t *Task) deliverBulk(dev, tile, off int, data []byte) {
-	t.Chips[dev].HostWriteLMB(tile, off, data)
+	t.hostWrite(dev, tile, off, data)
 	t.invalidateHostCopies(dev, tile, off, len(data))
 }
 

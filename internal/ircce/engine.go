@@ -163,7 +163,7 @@ func (e *Engine) WaitAll(reqs ...*Request) {
 		if e.anyActionable() {
 			continue
 		}
-		e.r.WaitAnyLocalChange()
+		e.r.WaitAnyLocalChangeFor(0)
 	}
 }
 

@@ -99,7 +99,7 @@ func (pp *PipelinedProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 		if seq > 2 {
 			lo, hi := byte(seq-2), byte(seq-1)
 			t0 := r.Now()
-			ctx.WaitFlag(myTile, myBase+readyOff, func(b byte) bool { return b == lo || b == hi })
+			ctx.WaitFlagFor(myTile, myBase+readyOff, func(b byte) bool { return b == lo || b == hi }, 0)
 			tl.Record("sender", "waitcredit", t0, r.Now())
 		}
 		slotOff := int((seq - 1) % 2 * uint64(pk))
@@ -118,7 +118,7 @@ func (pp *PipelinedProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 	// Blocking semantics: wait until the receiver drained everything.
 	final := byte(st.out)
 	t0 := r.Now()
-	ctx.WaitFlag(myTile, myBase+readyOff, func(b byte) bool { return b == final })
+	ctx.WaitFlagFor(myTile, myBase+readyOff, func(b byte) bool { return b == final }, 0)
 	tl.Record("sender", "waitack", t0, r.Now())
 }
 
@@ -142,7 +142,7 @@ func (pp *PipelinedProtocol) Recv(r *rcce.Rank, src int, buf []byte) {
 		// packet ahead inside its credit window).
 		lo, hi := byte(seq), byte(seq+1)
 		t0 := r.Now()
-		ctx.WaitFlag(myTile, myBase+sentOff, func(b byte) bool { return b == lo || b == hi })
+		ctx.WaitFlagFor(myTile, myBase+sentOff, func(b byte) bool { return b == lo || b == hi }, 0)
 		tl.Record("receiver", "waitdata", t0, r.Now())
 		slotOff := int((seq - 1) % 2 * uint64(pk))
 		t0 = r.Now()

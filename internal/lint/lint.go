@@ -242,11 +242,14 @@ func pkgPathIn(pkgPath string, suffixes ...string) bool {
 //     concurrency must flow through internal/sim,
 //   - goryorder audits the gory-protocol packages plus the repository
 //     root (whose integration tests exercise raw protocols),
+//   - faultorder audits the inter-device protocol layers (vscc, ircce),
+//     where every engaged wait must carry a cycle budget,
 //   - flagdiscipline, tracealloc and simapi audit everything.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		KernelClockAnalyzer(),
 		GoryOrderAnalyzer(),
+		FaultOrderAnalyzer(),
 		FlagDisciplineAnalyzer(),
 		TraceAllocAnalyzer(),
 		SimAPIAnalyzer(),

@@ -18,6 +18,7 @@ func TestAnalyzersGolden(t *testing.T) {
 	}{
 		{KernelClockAnalyzer(), "kernelclock", "vscc/internal/noc"},
 		{GoryOrderAnalyzer(), "goryorder", "vscc/internal/rcce"},
+		{FaultOrderAnalyzer(), "faultorder", "vscc/internal/vscc"},
 		{FlagDisciplineAnalyzer(), "flagdiscipline", "fixture/flagdiscipline"},
 		{FlagDisciplineAnalyzer(), "flagdiscipline_ext", "vscc/internal/ircce"},
 		{TraceAllocAnalyzer(), "tracealloc", "fixture/tracealloc"},

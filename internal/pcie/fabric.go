@@ -98,6 +98,14 @@ type Fabric struct {
 	Params Params
 	Ack    AckMode
 	links  []*DeviceLink
+	// chans wrap each link with the SIF replay layer (packet.go); they
+	// pass through untouched until SetFaults arms them.
+	chans []*channelPair
+}
+
+// channelPair is the replay layer over one device's link pair.
+type channelPair struct {
+	d2h, h2d *Channel
 }
 
 // New builds a fabric for n devices in the given acknowledgement mode.
@@ -112,9 +120,14 @@ func New(n int, params Params, ack AckMode) (*Fabric, error) {
 	}
 	f := &Fabric{Params: params, Ack: ack}
 	for d := 0; d < n; d++ {
-		f.links = append(f.links, &DeviceLink{
+		dl := &DeviceLink{
 			D2H: noc.NewLink(fmt.Sprintf("pcie.d%d.d2h", d), params.LinkLatency, params.LinkBytesPerCycle),
 			H2D: noc.NewLink(fmt.Sprintf("pcie.d%d.h2d", d), params.LinkLatency, params.LinkBytesPerCycle),
+		}
+		f.links = append(f.links, dl)
+		f.chans = append(f.chans, &channelPair{
+			d2h: newChannel(dl.D2H, "pcie.d2h", d),
+			h2d: newChannel(dl.H2D, "pcie.h2d", d),
 		})
 	}
 	return f, nil

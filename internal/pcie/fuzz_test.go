@@ -1,0 +1,58 @@
+package pcie
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeHeader drives the SIF frame validator with arbitrary wire
+// bytes: it must never panic, must accept exactly the frames EncodeHeader
+// produces, and any frame it does accept must re-encode to the same
+// bytes (no two distinct wire images decode to one header).
+func FuzzDecodeHeader(f *testing.F) {
+	good := EncodeHeader(Header{Seq: 1, Length: 64})
+	f.Add(good[:])
+	flipped := good
+	flipped[0] ^= 0xFF
+	f.Add(flipped[:])
+	f.Add([]byte{})
+	f.Add([]byte{0x5A})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderBytes))
+	f.Add(bytes.Repeat([]byte{0x00}, HeaderBytes+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHeader(data)
+		if err != nil {
+			return
+		}
+		re := EncodeHeader(h)
+		if !bytes.Equal(re[:], data[:HeaderBytes]) {
+			t.Fatalf("accepted frame %x re-encodes to %x", data[:HeaderBytes], re)
+		}
+	})
+}
+
+// FuzzHeaderRoundTrip checks that every header survives the wire and
+// that single-byte damage anywhere in the frame is always rejected.
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0), byte(0), 0, byte(1))
+	f.Add(uint64(1<<63), uint32(1<<31), byte(255), HeaderBytes-1, byte(0x80))
+	f.Add(uint64(12345), uint32(8192), byte(3), 14, byte(0x01))
+	f.Fuzz(func(t *testing.T, seq uint64, length uint32, kind byte, dmgAt int, dmg byte) {
+		h := Header{Seq: seq, Length: length, Kind: kind}
+		b := EncodeHeader(h)
+		got, err := DecodeHeader(b[:])
+		if err != nil {
+			t.Fatalf("clean frame rejected: %v", err)
+		}
+		if got != h {
+			t.Fatalf("round trip %+v -> %+v", h, got)
+		}
+		if dmg == 0 || dmgAt < 0 {
+			return
+		}
+		b[dmgAt%HeaderBytes] ^= dmg
+		if dec, err := DecodeHeader(b[:]); err == nil {
+			t.Fatalf("damaged frame accepted as %+v", dec)
+		}
+	})
+}

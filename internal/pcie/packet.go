@@ -1,0 +1,248 @@
+package pcie
+
+// SIF packet framing and the sequence-numbered replay channel. In the
+// fault-free configuration every posted transfer bypasses this layer and
+// goes straight to the link, so the fast path is byte-identical to a
+// build without it. With an injector attached, each posted transfer is
+// framed (sequence number + length + CRC), subjected to the injector's
+// verdict, and delivered through a reorder buffer that guarantees
+// exactly-once in-order delivery — the property the host task's
+// data-before-flag FIFO depends on. Lost or damaged frames are recovered
+// by retransmission timers with exponential backoff; a frame that fails
+// its CRC is counted and discarded exactly like a drop, which is what
+// lets the framing validator double as the recovery trigger.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"vscc/internal/fault"
+	"vscc/internal/noc"
+	"vscc/internal/sim"
+)
+
+// HeaderBytes is the wire size of a SIF frame header: 16 bytes of
+// fields plus a full CRC-32, so any single error burst up to 32 bits is
+// guaranteed rejected.
+const HeaderBytes = 20
+
+// Header is the SIF frame header: sequence number, payload length, a
+// kind tag, and a CRC-32 over the rest.
+type Header struct {
+	Seq    uint64
+	Length uint32
+	Kind   byte
+}
+
+// EncodeHeader serializes h with its CRC.
+func EncodeHeader(h Header) [HeaderBytes]byte {
+	var b [HeaderBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], h.Seq)
+	binary.LittleEndian.PutUint32(b[8:], h.Length)
+	b[12] = h.Kind
+	b[13] = 0x5A // frame marker; b[14:16] reserved
+	binary.LittleEndian.PutUint32(b[16:], crc32.ChecksumIEEE(b[:16]))
+	return b
+}
+
+// ErrBadFrame rejects a frame whose marker or CRC does not check out.
+var ErrBadFrame = errors.New("pcie: bad SIF frame")
+
+// DecodeHeader validates and parses a SIF frame header.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderBytes {
+		return Header{}, fmt.Errorf("%w: %d bytes, want %d", ErrBadFrame, len(b), HeaderBytes)
+	}
+	if b[13] != 0x5A {
+		return Header{}, fmt.Errorf("%w: marker %#x", ErrBadFrame, b[13])
+	}
+	if b[14] != 0 || b[15] != 0 {
+		return Header{}, fmt.Errorf("%w: reserved bytes %#x %#x", ErrBadFrame, b[14], b[15])
+	}
+	if got, want := binary.LittleEndian.Uint32(b[16:]), crc32.ChecksumIEEE(b[:16]); got != want {
+		return Header{}, fmt.Errorf("%w: crc %#08x, want %#08x", ErrBadFrame, got, want)
+	}
+	return Header{
+		Seq:    binary.LittleEndian.Uint64(b[0:]),
+		Length: binary.LittleEndian.Uint32(b[8:]),
+		Kind:   b[12],
+	}, nil
+}
+
+// outPacket is one posted transfer awaiting acknowledgement-by-arrival.
+type outPacket struct {
+	bytes    int
+	deliver  func()
+	attempts int
+	arrived  bool
+	// cancelRetx disarms the current attempt's retransmission timer; a
+	// cancelled timer leaves no event on the simulated timeline, keeping
+	// zero-fault armed runs cycle-identical to bare-link runs.
+	cancelRetx func()
+}
+
+// Channel is one direction of one device's SIF connection with
+// sequence-numbered idempotent replay layered over the raw link.
+type Channel struct {
+	k    *sim.Kernel
+	link *noc.Link
+	inj  *fault.Injector
+	site string
+	dev  int
+	rec  fault.Recovery
+
+	nextSeq   uint64 // last sequence number issued
+	delivered uint64 // highest sequence delivered in order
+	// outstanding holds posted-but-not-yet-delivered packets by sequence
+	// number; arrivals past a gap park here until the gap closes.
+	outstanding map[uint64]*outPacket
+}
+
+// newChannel wraps link; k and inj stay nil until SetFaults arms the
+// fabric, and a nil-injector channel forwards straight to the link.
+func newChannel(link *noc.Link, site string, dev int) *Channel {
+	return &Channel{link: link, site: site, dev: dev}
+}
+
+// arm attaches the kernel and injector (see Fabric.SetFaults).
+func (c *Channel) arm(k *sim.Kernel, inj *fault.Injector) {
+	c.k = k
+	c.inj = inj
+	c.rec = inj.Recovery()
+	c.outstanding = make(map[uint64]*outPacket)
+}
+
+// Post sends a posted transfer: the calling process is charged the
+// serialization delay and deliver runs when the bytes arrive. Without an
+// injector this is exactly link.TransferAsync; with one, the transfer is
+// framed, faulted, replayed and deduplicated, preserving the link's
+// exactly-once in-order semantics through arbitrary drop/dup/delay.
+func (c *Channel) Post(p *sim.Proc, bytes int, deliver func()) {
+	if c.inj == nil {
+		c.link.TransferAsync(p, bytes, deliver)
+		return
+	}
+	c.nextSeq++
+	c.outstanding[c.nextSeq] = &outPacket{bytes: bytes, deliver: deliver}
+	c.transmit(p, c.nextSeq)
+}
+
+// transmit pushes one attempt of packet seq onto the wire and arms its
+// retransmission timer.
+func (c *Channel) transmit(p *sim.Proc, seq uint64) {
+	op := c.outstanding[seq]
+	if op == nil || op.arrived {
+		return
+	}
+	op.attempts++
+	frame := EncodeHeader(Header{Seq: seq, Length: uint32(op.bytes)})
+	v := c.inj.PacketFault(c.site, c.dev)
+	switch {
+	case v.Drop:
+		// The frame occupies the wire and vanishes.
+		c.link.TransferAsync(p, op.bytes, nil)
+	case v.Corrupt:
+		frame[c.inj.Pick(c.site, c.dev, HeaderBytes)] ^= 0x40
+		fallthrough
+	default:
+		arrive := func() { c.receive(frame) }
+		if v.Delay > 0 {
+			delay := v.Delay
+			c.link.TransferAsync(p, op.bytes, func() { c.k.After(delay, arrive) })
+		} else {
+			c.link.TransferAsync(p, op.bytes, arrive)
+		}
+		if v.Dup {
+			c.link.TransferAsync(p, op.bytes, arrive)
+		}
+	}
+	// Exponential backoff, capped so the shift cannot overflow.
+	shift := op.attempts - 1
+	if shift > 16 {
+		shift = 16
+	}
+	op.cancelRetx = c.k.AfterCancel(c.rec.RetxTimeout<<shift, func() { c.checkRetx(seq) })
+}
+
+// receive handles one frame arrival: validate, deduplicate, and drain
+// the reorder buffer in sequence order.
+func (c *Channel) receive(frame [HeaderBytes]byte) {
+	h, err := DecodeHeader(frame[:])
+	if err != nil {
+		// Damaged in flight; the CRC rejection downgrades it to a drop
+		// and the retransmission timer recovers it.
+		c.inj.RecordRecovery("crc-reject", c.site, c.dev)
+		return
+	}
+	if h.Seq <= c.delivered {
+		// Duplicate of an already-delivered frame: idempotent discard.
+		c.inj.RecordRecovery("dup-discard", c.site, c.dev)
+		return
+	}
+	op := c.outstanding[h.Seq]
+	if op == nil || op.arrived {
+		// Duplicate of a frame parked in the reorder buffer.
+		c.inj.RecordRecovery("dup-discard", c.site, c.dev)
+		return
+	}
+	op.arrived = true
+	if op.cancelRetx != nil {
+		op.cancelRetx()
+	}
+	for {
+		next, ok := c.outstanding[c.delivered+1]
+		if !ok || !next.arrived {
+			return
+		}
+		c.delivered++
+		delete(c.outstanding, c.delivered)
+		if next.deliver != nil {
+			next.deliver()
+		}
+	}
+}
+
+// checkRetx fires when packet seq's retransmission timer expires.
+func (c *Channel) checkRetx(seq uint64) {
+	op := c.outstanding[seq]
+	if op == nil || op.arrived {
+		return // delivered (or drained) in time
+	}
+	if op.attempts > c.rec.MaxRetx {
+		// Unrecoverable. Fail through a spawned process so Kernel.Run
+		// reports a clean, deterministic error instead of unwinding the
+		// scheduler.
+		site, dev, attempts := c.site, c.dev, op.attempts
+		c.k.Spawn("pcie.retx-fail", func(p *sim.Proc) {
+			panic(fmt.Sprintf("pcie: %s dev %d seq %d lost after %d attempts", site, dev, seq, attempts))
+		})
+		return
+	}
+	c.inj.RecordRecovery("retx", c.site, c.dev)
+	c.k.Spawn("pcie.retx", func(p *sim.Proc) { c.transmit(p, seq) })
+}
+
+// Backlog reports the packets posted but not yet delivered in order.
+func (c *Channel) Backlog() int { return len(c.outstanding) }
+
+// SetFaults arms sequence-numbered replay on every link of the fabric.
+// Must be called before any posted traffic.
+func (f *Fabric) SetFaults(k *sim.Kernel, inj *fault.Injector) {
+	for _, pair := range f.chans {
+		pair.d2h.arm(k, inj)
+		pair.h2d.arm(k, inj)
+	}
+}
+
+// PostD2H sends a posted device-to-host transfer on device d's link
+// through the replay channel.
+func (f *Fabric) PostD2H(p *sim.Proc, d, bytes int, deliver func()) {
+	f.chans[d].d2h.Post(p, bytes, deliver)
+}
+
+// PostH2D sends a posted host-to-device transfer on device d's link.
+func (f *Fabric) PostH2D(p *sim.Proc, d, bytes int, deliver func()) {
+	f.chans[d].h2d.Post(p, bytes, deliver)
+}

@@ -1,5 +1,7 @@
 package rcce
 
+import "vscc/internal/sim"
+
 // This file exports the low-level handshake primitives that alternative
 // wire protocols build on: the pipelined protocol of package ircce and
 // the host-accelerated inter-device schemes of package vscc. Application
@@ -24,9 +26,21 @@ func (r *Rank) SignalReady(dest int) { r.setReady(dest, 1) }
 // flag (the waiter owns the clear).
 func (r *Rank) AwaitSent(src int) { r.waitSent(src) }
 
+// AwaitSentFor is AwaitSent with a cycle budget (0 = forever), reporting
+// whether the flag arrived in time. On timeout the flag is left intact,
+// so the wait can be retried.
+func (r *Rank) AwaitSentFor(src int, budget sim.Cycles) bool {
+	return r.waitClearFlagFor(sentFlagBase+src, budget)
+}
+
 // AwaitReady blocks until rank dest has acknowledged a drain, then
 // clears the flag.
 func (r *Rank) AwaitReady(dest int) { r.waitReady(dest) }
+
+// AwaitReadyFor is AwaitReady with a cycle budget (0 = forever).
+func (r *Rank) AwaitReadyFor(dest int, budget sim.Cycles) bool {
+	return r.waitClearFlagFor(readyFlagBase+dest, budget)
+}
 
 // PeekSent reports, without yielding simulated time, whether rank src's
 // sent flag is raised here. For non-blocking progress engines.
@@ -61,6 +75,13 @@ func (r *Rank) ClearReady(dest int) {
 func (r *Rank) WaitAnyLocalChange() {
 	_, tile, _ := r.mpb(r.id)
 	r.ctx.WaitLMBChange(tile)
+}
+
+// WaitAnyLocalChangeFor is WaitAnyLocalChange with a cycle budget (0 =
+// forever), reporting false when the budget expires with no store.
+func (r *Rank) WaitAnyLocalChangeFor(budget sim.Cycles) bool {
+	_, tile, _ := r.mpb(r.id)
+	return r.ctx.WaitLMBChangeFor(tile, budget)
 }
 
 // Flag-array kinds for FlagByteAt.

@@ -136,12 +136,19 @@ func (r *Rank) writeFlag(dest, off int, v byte) {
 
 // waitClearFlag spins until the local flag at off is non-zero, then
 // clears it (the waiter owns the clear).
-func (r *Rank) waitClearFlag(off int) {
+func (r *Rank) waitClearFlag(off int) { r.waitClearFlagFor(off, 0) }
+
+// waitClearFlagFor is waitClearFlag with a cycle budget (0 = forever),
+// reporting whether the flag arrived — and was cleared — in time.
+func (r *Rank) waitClearFlagFor(off int, budget sim.Cycles) bool {
 	_, tile, base := r.mpb(r.id)
-	r.ctx.WaitFlag(tile, base+off, func(b byte) bool { return b != 0 })
+	if _, ok := r.ctx.WaitFlagFor(tile, base+off, func(b byte) bool { return b != 0 }, budget); !ok {
+		return false
+	}
 	r.ctx.WriteMPB(r.place(r.id).Dev, tile, base+off, []byte{0})
 	r.ctx.FlushWCB()
 	r.s.reportFlagWrite()
+	return true
 }
 
 // Flag is a user-visible synchronization flag allocated from MPB space.

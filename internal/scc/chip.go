@@ -83,6 +83,11 @@ type Chip struct {
 	// check is the runtime MPB consistency oracle (check.go); nil when
 	// checking is disabled.
 	check *Checker
+
+	// hostDrop, when set, may swallow a host-side store before it lands —
+	// the fault-injection hook for lost remote flag writes. It returns
+	// true to drop the store. Nil means every store lands.
+	hostDrop func(tile, off, n int) bool
 }
 
 // NewChip builds device index with the given timing parameters.
@@ -191,7 +196,17 @@ func (c *Chip) readLMB(tile, off int, buf []byte) {
 // HostWriteLMB is the entry point for host-side agents (communication
 // task, vDMA engine) to deposit data in on-chip memory. The caller
 // accounts for transport timing; the store itself is instantaneous.
-func (c *Chip) HostWriteLMB(tile, off int, data []byte) { c.writeLMB(tile, off, data) }
+func (c *Chip) HostWriteLMB(tile, off int, data []byte) {
+	if c.hostDrop != nil && c.hostDrop(tile, off, len(data)) {
+		return
+	}
+	c.writeLMB(tile, off, data)
+}
+
+// SetHostWriteDropper installs the fault-injection hook consulted before
+// every host-side store (see HostWriteLMB). vscc wires it to the fault
+// injector; tests may install their own.
+func (c *Chip) SetHostWriteDropper(fn func(tile, off, n int) bool) { c.hostDrop = fn }
 
 // HostReadLMB is the host-side read counterpart.
 func (c *Chip) HostReadLMB(tile, off int, buf []byte) { c.readLMB(tile, off, buf) }

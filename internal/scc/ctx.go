@@ -259,8 +259,22 @@ func (c *Ctx) ClearTAS(core int) {
 // semantics. RCCE spins exclusively on local flags (paper §3.1 footnote),
 // so cross-device flag waiting is rejected.
 func (c *Ctx) WaitFlag(tile, off int, pred func(byte) bool) byte {
+	b, _ := c.WaitFlagFor(tile, off, pred, 0)
+	return b
+}
+
+// WaitFlagFor is WaitFlag with a cycle budget: it gives up once budget
+// cycles elapse without pred being satisfied, reporting ok=false. A zero
+// budget waits forever. On timeout the flag is re-read coherently one
+// last time, so a satisfaction that raced the deadline still wins.
+func (c *Ctx) WaitFlagFor(tile, off int, pred func(byte) bool, budget sim.Cycles) (flag byte, ok bool) {
 	chip := c.chip()
 	t := chip.Tiles[tile]
+	var to *sim.Timeout
+	if budget > 0 {
+		to = t.changed.ArmTimeout(budget)
+		defer to.Cancel()
+	}
 	var b [1]byte
 	for {
 		// Each poll iteration invalidates MPBT state and reloads the
@@ -269,9 +283,14 @@ func (c *Ctx) WaitFlag(tile, off int, pred func(byte) bool) byte {
 		c.delayCore(chip.Params.FlagPollCycles)
 		chip.readLMB(tile, off, b[:])
 		if pred(b[0]) {
-			return b[0]
+			return b[0], true
 		}
-		t.changed.Wait(c.Proc)
+		if !t.changed.WaitOrTimeout(c.Proc, to) {
+			c.invalidateL1()
+			c.delayCore(chip.Params.FlagPollCycles)
+			chip.readLMB(tile, off, b[:])
+			return b[0], pred(b[0])
+		}
 	}
 }
 
@@ -291,6 +310,21 @@ func (c *Ctx) PeekLMB(tile, off int) byte {
 // PeekLMB to build race-free wait loops.
 func (c *Ctx) WaitLMBChange(tile int) {
 	c.chip().Tiles[tile].changed.Wait(c.Proc)
+}
+
+// WaitLMBChangeFor is WaitLMBChange with a cycle budget, reporting false
+// once budget cycles pass with no store landing. A zero budget waits
+// forever.
+func (c *Ctx) WaitLMBChangeFor(tile int, budget sim.Cycles) bool {
+	ch := c.chip().Tiles[tile].changed
+	if budget == 0 {
+		ch.Wait(c.Proc)
+		return true
+	}
+	to := ch.ArmTimeout(budget)
+	ok := ch.WaitOrTimeout(c.Proc, to)
+	to.Cancel()
+	return ok
 }
 
 // ReadFlag performs a single coherent flag read (invalidate + load).

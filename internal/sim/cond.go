@@ -12,9 +12,17 @@ type Cond struct {
 	// waiters[head:] are the blocked processes in FIFO order. Dequeuing
 	// advances head instead of reslicing from the front, so the backing
 	// array is reused once drained rather than reallocated every
-	// wait/signal cycle.
-	waiters []*Proc
+	// wait/signal cycle. A slot with a nil proc was consumed out of FIFO
+	// order by an expiring Timeout and is skipped.
+	waiters []condWaiter
 	head    int
+}
+
+// condWaiter is one parked process, plus the timeout token (if any) that
+// may cancel the wait.
+type condWaiter struct {
+	p  *Proc
+	to *Timeout
 }
 
 // NewCond returns a condition variable owned by kernel k. The name is used
@@ -29,8 +37,77 @@ func (c *Cond) Wait(p *Proc) {
 		c.waiters = c.waiters[:0]
 		c.head = 0
 	}
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, condWaiter{p: p})
 	p.park(c.reason)
+}
+
+// Timeout is an armed deadline bound to one condition variable. It is a
+// single kernel event shared across any number of WaitOrTimeout calls,
+// so one token bounds a whole engaged-wait session (poll, wait, poll,
+// wait, ...) rather than a single park. All methods are nil-safe on a
+// nil receiver, which stands for "no deadline".
+type Timeout struct {
+	c      *Cond
+	fired  bool
+	done   bool
+	cancel func()
+}
+
+// ArmTimeout schedules a deadline d cycles from now. If the deadline
+// expires while a process is parked on c under this token, that process
+// is woken out of FIFO order; WaitOrTimeout then reports false.
+func (c *Cond) ArmTimeout(d Cycles) *Timeout {
+	t := &Timeout{c: c}
+	t.cancel = c.k.AfterCancel(d, func() {
+		if t.done || t.fired {
+			return
+		}
+		t.fired = true
+		for i := c.head; i < len(c.waiters); i++ {
+			w := c.waiters[i]
+			if w.to == t && w.p != nil {
+				c.waiters[i] = condWaiter{}
+				w.p.unpark()
+				return
+			}
+		}
+	})
+	return t
+}
+
+// Fired reports whether the deadline has expired.
+func (t *Timeout) Fired() bool { return t != nil && t.fired }
+
+// Cancel disarms the deadline. The underlying kernel event is discarded
+// without ever dispatching, so a cancelled timeout leaves no trace on
+// the simulated timeline (see Kernel.AfterCancel).
+func (t *Timeout) Cancel() {
+	if t != nil {
+		t.done = true
+		t.cancel()
+	}
+}
+
+// WaitOrTimeout blocks like Wait but gives up when the token's deadline
+// expires, reporting false. A nil token waits unconditionally. An
+// already-expired token returns false without yielding; callers must
+// re-check their predicate either way, since a wakeup by Signal and the
+// deadline can land on the same cycle.
+func (c *Cond) WaitOrTimeout(p *Proc, t *Timeout) bool {
+	if t == nil {
+		c.Wait(p)
+		return true
+	}
+	if t.fired {
+		return false
+	}
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
+	c.waiters = append(c.waiters, condWaiter{p: p, to: t})
+	p.park(c.reason)
+	return !t.fired
 }
 
 // WaitFor blocks the calling process until pred() is true, re-checking
@@ -42,15 +119,18 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 	}
 }
 
-// Signal wakes the longest-waiting process, if any.
+// Signal wakes the longest-waiting process, if any. Slots emptied by an
+// expired Timeout are skipped.
 func (c *Cond) Signal() {
-	if c.head == len(c.waiters) {
-		return
+	for c.head < len(c.waiters) {
+		w := c.waiters[c.head]
+		c.waiters[c.head] = condWaiter{} // release for the GC
+		c.head++
+		if w.p != nil {
+			w.p.unpark()
+			return
+		}
 	}
-	w := c.waiters[c.head]
-	c.waiters[c.head] = nil // release for the GC
-	c.head++
-	w.unpark()
 }
 
 // Broadcast wakes all waiting processes in FIFO order.
@@ -59,13 +139,23 @@ func (c *Cond) Broadcast() {
 	c.waiters = c.waiters[:0]
 	c.head = 0
 	for i, w := range ws {
-		ws[i] = nil
-		w.unpark()
+		ws[i] = condWaiter{}
+		if w.p != nil {
+			w.p.unpark()
+		}
 	}
 }
 
 // Waiting reports the number of processes blocked on the condition.
-func (c *Cond) Waiting() int { return len(c.waiters) - c.head }
+func (c *Cond) Waiting() int {
+	n := 0
+	for _, w := range c.waiters[c.head:] {
+		if w.p != nil {
+			n++
+		}
+	}
+	return n
+}
 
 // Gate is a boolean level-triggered synchronization primitive: processes
 // wait until it is open. Unlike Cond, a Gate that is already open never

@@ -38,6 +38,9 @@ type Cycles uint64
 
 // event is a single entry in the kernel's event queue. Exactly one of p or
 // fn is non-nil: p resumes a blocked process, fn runs a callback inline.
+// The struct is copied on every heap and bucket operation — the hottest
+// path in the simulator — so cancellation state (see AfterCancel) lives
+// in a kernel-side seq set rather than widening every event.
 type event struct {
 	at  Cycles
 	seq uint64
@@ -154,6 +157,14 @@ type Kernel struct {
 	// set. It is cleared on the next Run/RunFor/RunUntil call, so a
 	// stopped kernel can be resumed without dropping pending work.
 	stopped bool
+
+	// cancelled holds the seqs of events cancelled via AfterCancel but
+	// not yet discarded by the run loop; nCancelled mirrors its size.
+	// Kept out of the event struct so cancellability costs the hot path
+	// one integer compare instead of a wider event copy on every push
+	// and pop. nil until first used.
+	cancelled  map[uint64]struct{}
+	nCancelled int
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -263,6 +274,39 @@ func (k *Kernel) At(at Cycles, fn func()) {
 // After schedules fn to run d cycles from now.
 func (k *Kernel) After(d Cycles, fn func()) { k.At(k.now+d, fn) }
 
+// AfterCancel schedules fn like After but returns a cancel function. A
+// cancelled event is discarded without dispatching and — unlike
+// swapping fn for a no-op — without ever advancing the clock to its
+// deadline: arming and cancelling a timeout leaves the simulated
+// timeline untouched, which is what keeps armed-but-idle recovery
+// machinery cycle-identical to a run without it. cancel is idempotent
+// and harmless after the event has fired.
+func (k *Kernel) AfterCancel(d Cycles, fn func()) (cancel func()) {
+	k.schedule(k.now+d, nil, fn)
+	seq := k.seq // schedule assigned this seq to the event just queued
+	return func() {
+		if k.cancelled == nil {
+			k.cancelled = make(map[uint64]struct{})
+		}
+		if _, ok := k.cancelled[seq]; !ok {
+			k.cancelled[seq] = struct{}{}
+			k.nCancelled++
+		}
+	}
+}
+
+// discard reports whether the event with seq was cancelled, consuming
+// its mark. Callers gate on k.nCancelled != 0 so the fault-free run
+// loop pays only that compare and never makes this call.
+func (k *Kernel) discard(seq uint64) bool {
+	if _, ok := k.cancelled[seq]; !ok {
+		return false
+	}
+	delete(k.cancelled, seq)
+	k.nCancelled--
+	return true
+}
+
 func (k *Kernel) schedule(at Cycles, p *Proc, fn func()) {
 	k.seq++
 	if at == k.now {
@@ -329,6 +373,9 @@ func (k *Kernel) run(limit Cycles, bounded bool) error {
 			e = k.bucket[k.head]
 			k.bucket[k.head] = event{} // release fn/p for the GC
 			k.head++
+			if k.nCancelled != 0 && k.discard(e.seq) {
+				continue // cancelled while parked in the bucket
+			}
 		} else {
 			if k.head > 0 {
 				k.bucket = k.bucket[:0]
@@ -341,6 +388,12 @@ func (k *Kernel) run(limit Cycles, bounded bool) error {
 				return nil
 			}
 			e = k.queue.pop()
+			if k.nCancelled != 0 && k.discard(e.seq) {
+				// Cancelled before the clock reached it: discard without
+				// advancing time. Events drained into the bucket below
+				// are screened when the bucket dispatches them.
+				continue
+			}
 			if e.at < k.now {
 				panic("sim: event queue went backwards")
 			}

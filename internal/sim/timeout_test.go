@@ -1,0 +1,153 @@
+package sim
+
+import "testing"
+
+func TestWaitOrTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var ok bool
+	var woke Cycles
+	k.Spawn("waiter", func(p *Proc) {
+		to := c.ArmTimeout(100)
+		ok = c.WaitOrTimeout(p, to)
+		woke = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("wait reported success, want timeout")
+	}
+	if woke != 100 {
+		t.Errorf("woke at cycle %d, want 100", woke)
+	}
+}
+
+func TestWaitOrTimeoutSignalledInTime(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var ok bool
+	var woke Cycles
+	k.Spawn("waiter", func(p *Proc) {
+		to := c.ArmTimeout(100)
+		ok = c.WaitOrTimeout(p, to)
+		to.Cancel()
+		woke = p.Now()
+	})
+	k.After(40, c.Signal)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("wait reported timeout, want success")
+	}
+	if woke != 40 {
+		t.Errorf("woke at cycle %d, want 40", woke)
+	}
+}
+
+// One token spans a whole engaged-wait session: intermediate signalled
+// waits succeed, and only the final park times out when the deadline
+// passes.
+func TestTimeoutSpansMultipleWaits(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var results []bool
+	k.Spawn("waiter", func(p *Proc) {
+		to := c.ArmTimeout(100)
+		for i := 0; i < 3; i++ {
+			results = append(results, c.WaitOrTimeout(p, to))
+		}
+	})
+	k.After(10, c.Signal)
+	k.After(20, c.Signal)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false}
+	if len(results) != len(want) {
+		t.Fatalf("got %d waits, want %d", len(results), len(want))
+	}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Errorf("wait %d = %v, want %v", i, results[i], want[i])
+		}
+	}
+}
+
+// A cancelled token never fires, even though its kernel event still
+// dispatches, and an expired token refuses to park at all.
+func TestTimeoutCancelAndReuseAfterFire(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var cancelledFired, expiredWaited bool
+	var wokeAt Cycles
+	k.Spawn("waiter", func(p *Proc) {
+		to := c.ArmTimeout(10)
+		to.Cancel()
+		p.Delay(50)
+		cancelledFired = to.Fired()
+
+		exp := c.ArmTimeout(5)
+		p.Delay(20) // expire while runnable
+		expiredWaited = c.WaitOrTimeout(p, exp)
+		wokeAt = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cancelledFired {
+		t.Error("cancelled timeout reports fired")
+	}
+	if expiredWaited {
+		t.Error("expired token parked and reported success")
+	}
+	if wokeAt != 70 {
+		t.Errorf("expired-token wait returned at cycle %d, want 70 (no park)", wokeAt)
+	}
+}
+
+// A timeout pulls its waiter out of the middle of the FIFO without
+// disturbing its neighbours: Signal skips the vacated slot.
+func TestTimeoutRemovesMidQueueWaiter(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var order []string
+	wait := func(name string, to *Timeout) func(*Proc) {
+		return func(p *Proc) {
+			c.WaitOrTimeout(p, to)
+			order = append(order, name)
+		}
+	}
+	k.Spawn("a", wait("a", nil))
+	k.Spawn("b", func(p *Proc) {
+		to := c.ArmTimeout(10)
+		c.WaitOrTimeout(p, to)
+		order = append(order, "b")
+	})
+	k.Spawn("c", wait("c", nil))
+	k.After(50, c.Signal) // wakes a (b already gone)
+	k.After(60, c.Signal) // wakes c
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "b a c"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += " "
+		}
+		got += s
+	}
+	if got != want {
+		t.Errorf("wake order %q, want %q", got, want)
+	}
+}
+
+func TestNilTimeoutHelpers(t *testing.T) {
+	var to *Timeout
+	if to.Fired() {
+		t.Error("nil timeout reports fired")
+	}
+	to.Cancel() // must not panic
+}

@@ -14,9 +14,11 @@ package vscc
 
 import (
 	"fmt"
+	"strings"
 
 	"vscc/internal/host"
 	"vscc/internal/rcce"
+	"vscc/internal/sim"
 )
 
 // AsyncEngine drives non-blocking cross-device requests for one rank.
@@ -64,6 +66,11 @@ type AsyncRequest struct {
 	lastSeq  uint64
 	seq      uint64 // chunk currently being worked on
 	state    int
+
+	// Newest vDMA command programmed for this request; re-issued when a
+	// stalled engine suspects the programming write was lost in flight.
+	cmd     host.BankCommand
+	haveCmd bool
 }
 
 // Done reports completion without progressing the request.
@@ -170,8 +177,22 @@ func (e *AsyncEngine) Test(q *AsyncRequest) bool {
 // changes between progress rounds.
 func (e *AsyncEngine) Wait(q *AsyncRequest) { e.WaitAll(q) }
 
-// WaitAll blocks until every request completes.
+// WaitAll blocks until every request completes. Fault-free, each sleep
+// waits indefinitely for a local MPB change (budget 0), as before.
+// Under fault injection every sleep carries a cycle budget; when it
+// expires without progress, the engine re-arms the vDMA commands of its
+// blocked senders and republishes outstanding grants (both idempotent —
+// the same bytes and flag values land again, and counters never move
+// backward), then retries with a doubled budget. Past the retry bound
+// the engine fails deterministically with a snapshot of the stalled
+// queue heads.
 func (e *AsyncEngine) WaitAll(reqs ...*AsyncRequest) {
+	ip := e.ip
+	budget := sim.Cycles(0)
+	if ip.faults != nil {
+		budget = ip.rec.WaitBudget
+	}
+	stalls := 0
 	for {
 		allDone := true
 		for _, q := range reqs {
@@ -183,13 +204,82 @@ func (e *AsyncEngine) WaitAll(reqs ...*AsyncRequest) {
 			return
 		}
 		if e.Push() {
+			stalls = 0
+			if ip.faults != nil {
+				budget = ip.rec.WaitBudget
+			}
 			continue
 		}
 		if e.anyActionable() {
 			continue
 		}
-		e.r.WaitAnyLocalChange()
+		if e.r.WaitAnyLocalChangeFor(budget) {
+			continue
+		}
+		stalls++
+		if stalls > ip.rec.MaxWaitRetries {
+			panic(fmt.Sprintf("vscc: async engine rank %d lost completion after %d retries at cycle %d: %s",
+				e.r.ID(), stalls-1, e.r.Now(), e.describeStalled()))
+		}
+		dev, _, _ := e.r.MPBOf(e.r.ID())
+		ip.faults.RecordRecovery("async-retry", "vscc.async", dev)
+		e.rearmStalled()
+		budget *= 2
 	}
+}
+
+// rearmStalled re-issues the newest vDMA command of every blocked send
+// head and republishes every blocked receiver's outstanding grant, so a
+// lost programming write or a lost credit flag cannot wedge the engine.
+// Degraded pairs are skipped: their counters are written directly and a
+// stale re-issued command could overwrite newer values.
+func (e *AsyncEngine) rearmStalled() {
+	dev, _, _ := e.r.MPBOf(e.r.ID())
+	for _, peer := range asyncSortedPeers(e.sendQ) {
+		q := e.sendQ[peer][0]
+		if !q.haveCmd || e.ip.degraded(e.r, peer) {
+			continue
+		}
+		e.ip.faults.RecordRecovery("vdma-rearm", "vscc.async", dev)
+		e.ip.mmio(e.r, q.cmd)
+	}
+	for _, peer := range asyncSortedPeers(e.recvQ) {
+		e.publishGrant(e.recvQ[peer][0])
+	}
+}
+
+// describeStalled renders the blocked queue heads deterministically for
+// the lost-completion failure.
+func (e *AsyncEngine) describeStalled() string {
+	var parts []string
+	for _, peer := range asyncSortedPeers(e.sendQ) {
+		q := e.sendQ[peer][0]
+		parts = append(parts, fmt.Sprintf("send->%d %s seq %d of %d..%d", peer, asyncStateName(q.state), q.seq, q.firstSeq, q.lastSeq))
+	}
+	for _, peer := range asyncSortedPeers(e.recvQ) {
+		q := e.recvQ[peer][0]
+		parts = append(parts, fmt.Sprintf("recv<-%d %s seq %d of %d..%d", peer, asyncStateName(q.state), q.seq, q.firstSeq, q.lastSeq))
+	}
+	if len(parts) == 0 {
+		return "no queued requests"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func asyncStateName(s int) string {
+	switch s {
+	case asWaitGrant:
+		return "wait-grant"
+	case asWaitSlot:
+		return "wait-slot"
+	case asWaitDrain:
+		return "wait-drain"
+	case arWaitData:
+		return "wait-data"
+	case asDone:
+		return "done"
+	}
+	return "invalid"
 }
 
 // Pending reports incomplete requests.
@@ -314,14 +404,16 @@ func (q *AsyncRequest) armChunk() {
 	ctx.CopyPrivate(n)
 	ctx.WriteMPB(myDev, myTile, myBase+slot, q.rest[:n])
 	ctx.FlushWCB()
-	ip.mmio(r, host.BankCommand{
+	cmd := host.BankCommand{
 		Cmd:    host.CmdCopy,
 		DstDev: dstDev, DstTile: dstTile, DstOff: dstBase + slot,
 		SrcOff: myBase + slot, Count: n,
 		Flags:     host.FlagNotifyDest | host.FlagCompletion,
 		NotifyOff: dstBase + rcce.FlagByteAt(rcce.FlagSent, r.ID()), NotifyVal: seqVal(q.seq),
 		ComplOff: myBase + rcce.FlagByteAt(rcce.FlagDMAC, q.peer), ComplVal: seqVal(q.seq),
-	})
+	}
+	ip.mmio(r, cmd)
+	q.cmd, q.haveCmd = cmd, true
 	q.rest = q.rest[n:]
 	if len(q.rest) == 0 {
 		q.state = asWaitDrain

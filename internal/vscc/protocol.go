@@ -3,9 +3,11 @@ package vscc
 import (
 	"fmt"
 
+	"vscc/internal/fault"
 	"vscc/internal/host"
 	"vscc/internal/mem"
 	"vscc/internal/rcce"
+	"vscc/internal/sim"
 )
 
 // pairKey identifies an ordered (sender, receiver) rank pair.
@@ -17,6 +19,12 @@ type pairKey struct{ src, dst int }
 type pairSeq struct {
 	out uint64 // chunks the sender issued
 	in  uint64 // chunks the receiver drained
+	// cmd is the last vDMA command this pair's sender programmed; the
+	// recovery ladder re-issues it when a wait on its effects times out
+	// (re-copying the newest chunk is idempotent: same data, same flag
+	// values, and flag counters never move backward under re-issue).
+	cmd     host.BankCommand
+	haveCmd bool
 }
 
 // seqVal encodes a chunk sequence number as a non-zero flag byte.
@@ -38,6 +46,85 @@ type interDeviceProtocol struct {
 	// host cache currently mirrors; the sender invalidates that range
 	// before every reuse (§3.1's explicit consistency control).
 	published map[int]int
+
+	// faults/rec arm the recovery ladder on every engaged wait: nil
+	// faults means waits run unbudgeted on the exact same code path.
+	faults *fault.Injector
+	rec    fault.Recovery
+}
+
+// waitLadder runs one engaged wait under the recovery ladder: each
+// attempt gets a doubling cycle budget; between attempts the rearm
+// action (if any) re-issues the operation whose effect the wait is for.
+// Exhausting the ladder panics the rank with a deterministic error
+// (surfaced by Kernel.Run), never a silent deadlock.
+func (ip *interDeviceProtocol) waitLadder(r *rcce.Rank, site string, wait func(sim.Cycles) bool, rearm func()) {
+	if ip.faults == nil {
+		wait(0)
+		return
+	}
+	dev := r.Session().PlaceOf(r.ID()).Dev
+	budget := ip.rec.WaitBudget
+	for a := 0; ; a++ {
+		if wait(budget) {
+			if a > 0 {
+				ip.faults.RecordRecovery("wait-ok", site, -1)
+			}
+			return
+		}
+		if a >= ip.rec.MaxWaitRetries {
+			panic(fmt.Sprintf("vscc: %s: rank %d lost completion after %d retries at cycle %d", site, r.ID(), a, r.Now()))
+		}
+		ip.faults.RecordRecovery("wait-retry", site, dev)
+		if rearm != nil {
+			rearm()
+		}
+		budget *= 2
+	}
+}
+
+// awaitReady and awaitSent are the clear-based handshake waits under the
+// ladder. Their flag writes recover at the host (write-verify) and on
+// the fabric (replay), so they carry no rearm action of their own.
+func (ip *interDeviceProtocol) awaitReady(r *rcce.Rank, dest int, rearm func()) {
+	ip.waitLadder(r, "vscc.ready", func(b sim.Cycles) bool { return r.AwaitReadyFor(dest, b) }, rearm)
+}
+
+func (ip *interDeviceProtocol) awaitSent(r *rcce.Rank, src int, rearm func()) {
+	ip.waitLadder(r, "vscc.sent", func(b sim.Cycles) bool { return r.AwaitSentFor(src, b) }, rearm)
+}
+
+// waitFlag is a value-encoded flag wait under the ladder.
+func (ip *interDeviceProtocol) waitFlag(r *rcce.Rank, site string, tile, off int, pred func(byte) bool, rearm func()) {
+	ip.waitLadder(r, site, func(b sim.Cycles) bool {
+		_, ok := r.Ctx().WaitFlagFor(tile, off, pred, b)
+		return ok
+	}, rearm)
+}
+
+// rearmVDMA returns the re-programming action for a pair's newest vDMA
+// command (nil before the first command).
+func (ip *interDeviceProtocol) rearmVDMA(r *rcce.Rank, st *pairSeq) func() {
+	return func() {
+		if !st.haveCmd {
+			return
+		}
+		ip.faults.RecordRecovery("vdma-rearm", "vscc.vdma", r.Session().PlaceOf(r.ID()).Dev)
+		ip.mmio(r, st.cmd)
+	}
+}
+
+// degraded reports whether the fast path toward peer should fall back to
+// direct remote puts: either endpoint's device has crossed the
+// injector's recovery threshold. Evaluated per message; the fallbacks
+// are flag-compatible with the unmodified receiver paths, so only the
+// sender changes behaviour.
+func (ip *interDeviceProtocol) degraded(r *rcce.Rank, peer int) bool {
+	if ip.faults == nil {
+		return false
+	}
+	return ip.faults.Degraded(r.Session().PlaceOf(r.ID()).Dev) ||
+		ip.faults.Degraded(r.Session().PlaceOf(peer).Dev)
 }
 
 // Name implements rcce.Protocol.
@@ -144,12 +231,12 @@ func (ip *interDeviceProtocol) directSend(r *rcce.Rank, dest int, data []byte) {
 	}
 	ctx := r.Ctx()
 	dev, tile, base := r.MPBOf(dest)
-	r.AwaitReady(dest) // buffer grant
+	ip.awaitReady(r, dest, nil) // buffer grant
 	ctx.CopyPrivate(len(data))
 	ctx.WriteMPB(dev, tile, base, data)
 	ctx.FlushWCB()
 	r.SignalSent(dest)
-	r.AwaitReady(dest)
+	ip.awaitReady(r, dest, nil)
 }
 
 func (ip *interDeviceProtocol) directRecv(r *rcce.Rank, src int, buf []byte) {
@@ -164,7 +251,7 @@ func (ip *interDeviceProtocol) directRecv(r *rcce.Rank, src int, buf []byte) {
 	ctx := r.Ctx()
 	dev, tile, base := r.MPBOf(r.ID())
 	r.SignalReady(src) // grant
-	r.AwaitSent(src)
+	ip.awaitSent(r, src, nil)
 	ctx.InvalidateMPB()
 	ctx.ReadMPB(dev, tile, base, buf)
 	ctx.CopyPrivate(len(buf))
@@ -186,13 +273,13 @@ func (ip *interDeviceProtocol) cachedDirectSend(r *rcce.Rank, dest int, data []b
 	ctx.WriteMPB(myDev, myTile, myBase, data)
 	ctx.FlushWCB()
 	r.SignalSent(dest)
-	r.AwaitReady(dest)
+	ip.awaitReady(r, dest, nil)
 }
 
 func (ip *interDeviceProtocol) cachedDirectRecv(r *rcce.Rank, src int, buf []byte) {
 	ctx := r.Ctx()
 	srcDev, srcTile, srcBase := r.MPBOf(src)
-	r.AwaitSent(src)
+	ip.awaitSent(r, src, nil)
 	ctx.InvalidateMPB()
 	ctx.ReadMPB(srcDev, srcTile, srcBase, buf)
 	ctx.CopyPrivate(len(buf))
@@ -211,7 +298,7 @@ func (ip *interDeviceProtocol) vdmaDirectSend(r *rcce.Rank, dest int, data []byt
 	seq := st.out
 	grantOff := myBase + rcce.FlagByteAt(rcce.FlagGrant, dest)
 	glo, ghi := seqVal(seq), seqVal(seq+1)
-	ctx.WaitFlag(myTile, grantOff, func(b byte) bool { return b == glo || b == ghi })
+	ip.waitFlag(r, "vscc.vdma.grant", myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, nil)
 	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
 	ctx.CopyPrivate(len(data))
 	ctx.WriteMPB(dstDev, dstTile, dstBase+slot, data)
@@ -221,7 +308,7 @@ func (ip *interDeviceProtocol) vdmaDirectSend(r *rcce.Rank, dest int, data []byt
 	ctx.FlushWCB()
 	readyOff := myBase + rcce.FlagByteAt(rcce.FlagReady, dest)
 	final := seqVal(seq)
-	ctx.WaitFlag(myTile, readyOff, func(b byte) bool { return b == final })
+	ip.waitFlag(r, "vscc.vdma.ready", myTile, readyOff, func(b byte) bool { return b == final }, nil)
 }
 
 func (ip *interDeviceProtocol) vdmaDirectRecv(r *rcce.Rank, src int, buf []byte) {
@@ -235,7 +322,7 @@ func (ip *interDeviceProtocol) vdmaDirectRecv(r *rcce.Rank, src int, buf []byte)
 	ctx.FlushWCB()
 	sentOff := myBase + rcce.FlagByteAt(rcce.FlagSent, src)
 	lo, hi := seqVal(seq), seqVal(seq+1)
-	ctx.WaitFlag(myTile, sentOff, func(b byte) bool { return b == lo || b == hi })
+	ip.waitFlag(r, "vscc.vdma.sent", myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
 	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
 	ctx.InvalidateMPB()
 	ctx.ReadMPB(myDev, myTile, myBase+slot, buf)
@@ -262,7 +349,7 @@ func (ip *interDeviceProtocol) remotePutSend(r *rcce.Rank, dest int, data []byte
 			n = rcce.ChunkBytes
 		}
 		t0 := r.Now()
-		r.AwaitReady(dest) // buffer grant
+		ip.awaitReady(r, dest, nil) // buffer grant
 		tl.Record("sender", "waitgrant", t0, r.Now())
 		t0 = r.Now()
 		ctx.CopyPrivate(n)
@@ -273,7 +360,7 @@ func (ip *interDeviceProtocol) remotePutSend(r *rcce.Rank, dest int, data []byte
 		data = data[n:]
 	}
 	t0 := r.Now()
-	r.AwaitReady(dest) // final drain acknowledgement
+	ip.awaitReady(r, dest, nil) // final drain acknowledgement
 	tl.Record("sender", "waitack", t0, r.Now())
 }
 
@@ -288,7 +375,7 @@ func (ip *interDeviceProtocol) remotePutRecv(r *rcce.Rank, src int, buf []byte) 
 		}
 		r.SignalReady(src) // grant the buffer to this sender
 		t0 := r.Now()
-		r.AwaitSent(src)
+		ip.awaitSent(r, src, nil)
 		tl.Record("receiver", "waitdata", t0, r.Now())
 		t0 = r.Now()
 		ctx.InvalidateMPB()
@@ -311,6 +398,19 @@ func (ip *interDeviceProtocol) cachedSend(r *rcce.Rank, dest int, data []byte) {
 	tl := r.Session().Timeline()
 	ctx := r.Ctx()
 	myDev, myTile, myBase := r.MPBOf(r.ID())
+	// Graceful degradation: past the fault threshold, stop publishing to
+	// the host cache — the receiver's remote gets then ride the
+	// transparent path automatically (a cold cache forwards the read), so
+	// only the sender changes behaviour. One final invalidate retires any
+	// copy published before the fallback.
+	cached := !ip.degraded(r, dest)
+	if !cached {
+		ip.faults.RecordRecovery("degraded-send", "vscc.cached-get", -1)
+		if prev := ip.published[r.ID()]; prev > 0 {
+			ip.mmio(r, host.BankCommand{Cmd: host.CmdInvalidate, SrcOff: myBase, Count: prev})
+			ip.published[r.ID()] = 0
+		}
+	}
 	first := true
 	for len(data) > 0 {
 		n := len(data)
@@ -318,13 +418,13 @@ func (ip *interDeviceProtocol) cachedSend(r *rcce.Rank, dest int, data []byte) {
 			n = rcce.ChunkBytes
 		}
 		if !first {
-			r.AwaitReady(dest)
+			ip.awaitReady(r, dest, nil)
 		}
 		first = false
 		// Invalidate whatever the host cache still mirrors of this MPB —
 		// from the previous chunk or a previous message — before
 		// overwriting it.
-		if prev := ip.published[r.ID()]; prev > 0 {
+		if prev := ip.published[r.ID()]; cached && prev > 0 {
 			ip.mmio(r, host.BankCommand{Cmd: host.CmdInvalidate, SrcOff: myBase, Count: prev})
 		}
 		t0 := r.Now()
@@ -332,13 +432,15 @@ func (ip *interDeviceProtocol) cachedSend(r *rcce.Rank, dest int, data []byte) {
 		ctx.WriteMPB(myDev, myTile, myBase, data[:n])
 		ctx.FlushWCB()
 		tl.Record("sender", "put", t0, r.Now())
-		ip.mmio(r, host.BankCommand{Cmd: host.CmdUpdate, SrcOff: myBase, Count: n})
-		ip.published[r.ID()] = n
+		if cached {
+			ip.mmio(r, host.BankCommand{Cmd: host.CmdUpdate, SrcOff: myBase, Count: n})
+			ip.published[r.ID()] = n
+		}
 		r.SignalSent(dest)
 		data = data[n:]
 	}
 	t0 := r.Now()
-	r.AwaitReady(dest)
+	ip.awaitReady(r, dest, nil)
 	tl.Record("sender", "waitack", t0, r.Now())
 }
 
@@ -352,7 +454,7 @@ func (ip *interDeviceProtocol) cachedRecv(r *rcce.Rank, src int, buf []byte) {
 			n = rcce.ChunkBytes
 		}
 		t0 := r.Now()
-		r.AwaitSent(src)
+		ip.awaitSent(r, src, nil)
 		tl.Record("receiver", "waitdata", t0, r.Now())
 		t0 = r.Now()
 		ctx.InvalidateMPB()
@@ -418,6 +520,19 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 	slotSize := ip.slotBytes()
 	firstSeq := st.out + 1
 	lastSeq := st.out + chunksFor(len(data), slotSize)
+	// Graceful degradation: past the fault threshold, the sender writes
+	// each chunk straight into the receiver's slot and raises the sent
+	// counter itself instead of programming the vDMA controller — the
+	// exact flag flow the unmodified receiver expects, minus the host
+	// machinery. The re-arm ladder is meaningless then (no command).
+	direct := ip.degraded(r, dest)
+	rearm := ip.rearmVDMA(r, st)
+	if direct {
+		ip.faults.RecordRecovery("degraded-send", "vscc.vdma", -1)
+		// A re-issued command from an earlier message would overwrite the
+		// directly-written counters with stale values; never re-arm here.
+		rearm = nil
+	}
 	for len(data) > 0 {
 		n := len(data)
 		if n > slotSize {
@@ -429,17 +544,28 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 		// receiver is one chunk behind) or seq+1 (it caught up).
 		glo, ghi := seqVal(seq), seqVal(seq+1)
 		t0 := r.Now()
-		ctx.WaitFlag(myTile, grantOff, func(b byte) bool { return b == glo || b == ghi })
+		ip.waitFlag(r, "vscc.vdma.grant", myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, rearm)
 		tl.Record("sender", "waitgrant", t0, r.Now())
+		slot := int((seq - 1) % 2 * uint64(slotSize))
+		if direct {
+			t0 = r.Now()
+			ctx.CopyPrivate(n)
+			ctx.WriteMPB(dstDev, dstTile, dstBase+slot, data[:n])
+			ctx.FlushWCB()
+			ctx.WriteMPB(dstDev, dstTile, dstBase+rcce.FlagByteAt(rcce.FlagSent, r.ID()), []byte{seqVal(seq)})
+			ctx.FlushWCB()
+			tl.Record("sender", "remoteput", t0, r.Now())
+			data = data[n:]
+			continue
+		}
 		if seq-firstSeq >= 2 {
 			// Slot reuse: the vDMA must have finished reading chunk
 			// seq-2 out of this MPB slot.
 			clo, chi := seqVal(seq-2), seqVal(seq-1)
 			t0 = r.Now()
-			ctx.WaitFlag(myTile, dmacOff, func(b byte) bool { return b == clo || b == chi })
+			ip.waitFlag(r, "vscc.vdma.dmac", myTile, dmacOff, func(b byte) bool { return b == clo || b == chi }, rearm)
 			tl.Record("sender", "waitdma", t0, r.Now())
 		}
-		slot := int((seq - 1) % 2 * uint64(slotSize))
 		t0 = r.Now()
 		ctx.CopyPrivate(n)
 		ctx.WriteMPB(myDev, myTile, myBase+slot, data[:n])
@@ -447,21 +573,24 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 		tl.Record("sender", "put", t0, r.Now())
 		// Program the vDMA controller: one fused 32 B register write
 		// (address / count / control, Fig. 5).
-		ip.mmio(r, host.BankCommand{
+		cmd := host.BankCommand{
 			Cmd:    host.CmdCopy,
 			DstDev: dstDev, DstTile: dstTile, DstOff: dstBase + slot,
 			SrcOff: myBase + slot, Count: n,
 			Flags:     host.FlagNotifyDest | host.FlagCompletion,
 			NotifyOff: dstBase + rcce.FlagByteAt(rcce.FlagSent, r.ID()), NotifyVal: seqVal(seq),
 			ComplOff: dmacOff, ComplVal: seqVal(seq),
-		})
+		}
+		ip.mmio(r, cmd)
+		st.cmd = cmd
+		st.haveCmd = true
 		tl.Mark("sender", "dma-armed")
 		data = data[n:]
 	}
 	// Blocking semantics: the receiver drained everything.
 	final := seqVal(lastSeq)
 	t0 := r.Now()
-	ctx.WaitFlag(myTile, readyOff, func(b byte) bool { return b == final })
+	ip.waitFlag(r, "vscc.vdma.ready", myTile, readyOff, func(b byte) bool { return b == final }, rearm)
 	tl.Record("sender", "waitack", t0, r.Now())
 }
 
@@ -491,7 +620,7 @@ func (ip *interDeviceProtocol) vdmaRecv(r *rcce.Rank, src int, buf []byte) {
 		ctx.FlushWCB()
 		lo, hi := seqVal(seq), seqVal(seq+1)
 		t0 := r.Now()
-		ctx.WaitFlag(myTile, sentOff, func(b byte) bool { return b == lo || b == hi })
+		ip.waitFlag(r, "vscc.vdma.sent", myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
 		tl.Record("receiver", "waitdata", t0, r.Now())
 		slot := int((seq - 1) % 2 * uint64(slotSize))
 		t0 = r.Now()

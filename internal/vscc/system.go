@@ -20,6 +20,7 @@ package vscc
 import (
 	"fmt"
 
+	"vscc/internal/fault"
 	"vscc/internal/host"
 	"vscc/internal/mem"
 	"vscc/internal/noc"
@@ -153,6 +154,11 @@ type Config struct {
 	// unflushed write-combined stores.
 	Check bool
 
+	// Faults arms deterministic fault injection across the PCIe, host and
+	// protocol layers (see internal/fault). Nil runs fault-free along the
+	// exact same code paths.
+	Faults *fault.Config
+
 	// ChipParams, FabricParams and HostParams default when zero-valued.
 	ChipParams   *scc.Params
 	FabricParams *pcie.Params
@@ -167,6 +173,8 @@ type System struct {
 	Chips  []*scc.Chip
 	Fabric *pcie.Fabric
 	Task   *host.Task
+	// Injector is the armed fault injector; nil when Config.Faults is nil.
+	Injector *fault.Injector
 }
 
 // NewSystem assembles a vSCC.
@@ -212,7 +220,22 @@ func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Kernel: k, Config: cfg, Chips: chips, Fabric: fabric, Task: task}, nil
+	sys := &System{Kernel: k, Config: cfg, Chips: chips, Fabric: fabric, Task: task}
+	if cfg.Faults != nil {
+		inj := fault.NewInjector(k, *cfg.Faults)
+		fabric.SetFaults(k, inj)
+		task.SetFaults(inj)
+		for d, chip := range chips {
+			d := d
+			// Remote MPB flag writes (flag-sized host stores) can vanish;
+			// the host's write-verify path recovers them.
+			chip.SetHostWriteDropper(func(tile, off, n int) bool {
+				return n <= 4 && inj.LoseFlagWrite(d)
+			})
+		}
+		sys.Injector = inj
+	}
+	return sys, nil
 }
 
 // Instrument attaches an observability sink to the whole system: every
@@ -221,6 +244,7 @@ func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
 func (s *System) Instrument(sink *trace.Sink) {
 	s.Fabric.Instrument(sink)
 	s.Task.Instrument(sink)
+	s.Injector.Instrument(sink)
 }
 
 // TotalCores returns the number of available cores across all devices.
@@ -273,6 +297,8 @@ func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.S
 		slot:      slot,
 		seq:       make(map[pairKey]*pairSeq),
 		published: make(map[int]int),
+		faults:    s.Injector,
+		rec:       s.Injector.Recovery(),
 	}
 	opts = append([]rcce.Option{rcce.WithProtocol(proto)}, opts...)
 	session, err := rcce.NewSession(s.Kernel, s.Chips, places, opts...)
