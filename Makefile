@@ -43,7 +43,8 @@ bench-kernel:
 
 # Fault-injection gate: injector unit tests, the fault matrix, the
 # recovery tests and the soak's 1x short schedule, all under the race
-# detector, plus a coverage floor on the injector package.
+# detector, plus coverage floors on the injector and PCIe packet-layer
+# packages (the two packages that carry the fault/recovery machinery).
 fault:
 	$(GO) test -race -short ./internal/fault
 	$(GO) test -race -short -run Fault ./internal/harness .
@@ -53,6 +54,12 @@ fault:
 	echo "internal/fault coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
 		{ echo "internal/fault coverage below the 80% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover-pcie.out ./internal/pcie >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-pcie.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-pcie.out; \
+	echo "internal/pcie coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/pcie coverage below the 80% floor"; exit 1; }
 
 # Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
 soak:

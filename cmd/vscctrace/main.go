@@ -7,10 +7,17 @@
 // thread rows with their span counts and busy cycles, the top span
 // names by total duration, and the final counter values.
 //
+// With -recovery it instead tabulates the device fault/recovery ledger:
+// per device, the injected device faults, rejoins, epoch advances,
+// checkpoints, journal-replay and PCIe-replay volumes, plus the other
+// per-device recovery actions — the terminal-side summary of a
+// crash-recovery run (fault spec devcrash=.../devlinkdown=...).
+//
 // Usage:
 //
 //	vscctrace trace.json
 //	vscctrace -top 5 trace.json
+//	vscctrace -recovery trace.json
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 // event is the subset of the Chrome trace-event fields the exporter
@@ -62,9 +71,10 @@ type process struct {
 
 func main() {
 	top := flag.Int("top", 10, "span names to list per process, by total duration")
+	recovery := flag.Bool("recovery", false, "print the per-device fault/recovery ledger instead of the span view")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] [-recovery] trace.json")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -127,6 +137,10 @@ func main() {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
+	if *recovery {
+		printRecovery(procs, pids)
+		return
+	}
 	fmt.Printf("%s: %d events, %d processes\n", flag.Arg(0), len(doc.TraceEvents), len(pids))
 	for _, pid := range pids {
 		p := procs[pid]
@@ -174,6 +188,94 @@ func main() {
 				fmt.Printf("    %-36s %12d\n", n, p.counters[n])
 			}
 		}
+	}
+}
+
+// devCounter matches the per-device mirror counters the injector and the
+// membership manager emit ("fault.recover.rejoin.d1", "ckpt.take.d0",
+// "replay.frames.d2", ...).
+var devCounter = regexp.MustCompile(`^(.+)\.d(\d+)$`)
+
+// devLedger is one device's recovery tally across every process of the
+// trace.
+type devLedger struct {
+	crashes   int64 // fault.inject.devcrash
+	linkdowns int64 // fault.inject.devlinkdown
+	rejoins   int64 // fault.recover.rejoin
+	epochs    int64 // epoch.advance
+	ckpts     int64 // ckpt.take
+	jrnWrites int64 // replay.writes  (checkpoint journal, restore)
+	jrnBytes  int64 // replay.bytes
+	pcieFr    int64 // replay.frames  (held SIF frames, re-driven)
+	pcieBytes int64 // replay.frame_bytes
+	injected  int64 // all fault.inject.* for this device
+	recovered int64 // all fault.recover.* for this device
+}
+
+// printRecovery renders the per-device fault/recovery table from the
+// counter mirrors, summed over every process in the trace.
+func printRecovery(procs map[int]*process, pids []int) {
+	ledgers := map[int]*devLedger{}
+	for _, pid := range pids {
+		for name, v := range procs[pid].counters {
+			m := devCounter.FindStringSubmatch(name)
+			if m == nil {
+				continue
+			}
+			dev, err := strconv.Atoi(m[2])
+			if err != nil {
+				continue
+			}
+			l, ok := ledgers[dev]
+			if !ok {
+				l = &devLedger{}
+				ledgers[dev] = l
+			}
+			switch base := m[1]; base {
+			case "fault.inject.devcrash":
+				l.crashes += v
+			case "fault.inject.devlinkdown":
+				l.linkdowns += v
+			case "fault.recover.rejoin":
+				l.rejoins += v
+			case "epoch.advance":
+				l.epochs += v
+			case "ckpt.take":
+				l.ckpts += v
+			case "replay.writes":
+				l.jrnWrites += v
+			case "replay.bytes":
+				l.jrnBytes += v
+			case "replay.frames":
+				l.pcieFr += v
+			case "replay.frame_bytes":
+				l.pcieBytes += v
+			}
+			if len(m[1]) > 13 && m[1][:13] == "fault.inject." {
+				l.injected += v
+			}
+			if len(m[1]) > 14 && m[1][:14] == "fault.recover." {
+				l.recovered += v
+			}
+		}
+	}
+	if len(ledgers) == 0 {
+		fmt.Println("no per-device fault/recovery counters in this trace (run with -trace and a -fault schedule)")
+		return
+	}
+	devs := make([]int, 0, len(ledgers))
+	for d := range ledgers {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	fmt.Printf("%-4s %7s %7s %7s %7s %7s %10s %12s %10s %12s %9s %9s\n",
+		"dev", "crash", "linkdn", "rejoin", "epoch", "ckpt",
+		"jrn.wr", "jrn.bytes", "pcie.fr", "pcie.bytes", "injected", "recovered")
+	for _, d := range devs {
+		l := ledgers[d]
+		fmt.Printf("d%-3d %7d %7d %7d %7d %7d %10d %12d %10d %12d %9d %9d\n",
+			d, l.crashes, l.linkdowns, l.rejoins, l.epochs, l.ckpts,
+			l.jrnWrites, l.jrnBytes, l.pcieFr, l.pcieBytes, l.injected, l.recovered)
 	}
 }
 

@@ -2,6 +2,7 @@ package vscc_test
 
 import (
 	"bytes"
+	"errors"
 	"regexp"
 	"strings"
 	"testing"
@@ -146,6 +147,124 @@ func TestFaultToleranceLostCompletionError(t *testing.T) {
 	err2 := run()
 	if err2 == nil || err2.Error() != msg {
 		t.Errorf("rerun reported a different failure:\nfirst: %s\nrerun: %v", msg, err2)
+	}
+}
+
+// TestFaultToleranceDeviceLostError crashes a whole device mid-run with
+// transparent retry off: the peer's engaged wait must fail with an
+// error matching rcce.ErrDeviceLost (errors.Is), naming the lost device
+// and the cycle — and a rerun must reproduce it byte for byte.
+func TestFaultToleranceDeviceLostError(t *testing.T) {
+	run := func() error {
+		cfg := &fault.Config{
+			Seed: 11,
+			// Down far longer than the whole retry ladder, so the wait
+			// cannot simply outlast the outage.
+			DevCrashAt: []fault.DeviceFault{{At: 80_000, Dev: 1, Down: 10_000_000}},
+			Recovery: fault.Recovery{
+				WaitBudget:     50_000,
+				MaxWaitRetries: 3,
+			},
+		}
+		_, _, err := runFaultScenario(vscc.SchemeCachedGet, cfg, 4096, 8)
+		return err
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("a crashed peer device with devretry off still completed")
+	}
+	if !errors.Is(err, rcce.ErrDeviceLost) {
+		t.Errorf("error does not match rcce.ErrDeviceLost: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "device 1 lost") {
+		t.Errorf("error does not name the lost device:\n%s", msg)
+	}
+	if regexp.MustCompile(`at cycle (\d+)`).FindStringSubmatch(msg) == nil {
+		t.Errorf("error does not report the cycle:\n%s", msg)
+	}
+	err2 := run()
+	if err2 == nil || err2.Error() != msg {
+		t.Errorf("rerun reported a different failure:\nfirst: %s\nrerun: %v", msg, err2)
+	}
+}
+
+// TestFaultToleranceDeviceCrashRetry crashes a device mid-run with
+// transparent retry on: blocked waits must park until the rejoin, the
+// checkpoint image plus journal must rebuild the device's MPB, the held
+// PCIe frames must replay in the new epoch, and every payload must
+// arrive intact — on two different schemes, reproducibly.
+func TestFaultToleranceDeviceCrashRetry(t *testing.T) {
+	// SchemeHWAccel regresses the replay-during-park race: replaying one
+	// journaled frame parks the replay process on the wire, and arrivals
+	// landing meanwhile may drain later journal entries first.
+	for _, scheme := range []vscc.Scheme{vscc.SchemeCachedGet, vscc.SchemeVDMA, vscc.SchemeHWAccel} {
+		run := func() (bool, *vscc.System, error) {
+			cfg := &fault.Config{
+				Seed:       13,
+				DevCrashAt: []fault.DeviceFault{{At: 150_000, Dev: 1}},
+				Recovery:   fault.Recovery{DeviceRetry: true},
+			}
+			return runFaultScenario(scheme, cfg, 4096, 12)
+		}
+		ok, sys, err := run()
+		if err != nil {
+			t.Fatalf("%v: run did not survive the device crash: %v", scheme, err)
+		}
+		if !ok {
+			t.Fatalf("%v: payload corrupted across the device crash", scheme)
+		}
+		if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+			t.Errorf("%v: inject.devcrash = %d, want 1", scheme, got)
+		}
+		if got := sys.Injector.Stat("recover.rejoin"); got != 1 {
+			t.Errorf("%v: recover.rejoin = %d, want 1", scheme, got)
+		}
+		if st := sys.Membership.State(1); st != vscc.DevUp {
+			t.Errorf("%v: device 1 finished in state %v, want up", scheme, st)
+		}
+		if ep := sys.Membership.Epoch(1); ep != 1 {
+			t.Errorf("%v: device 1 epoch = %d, want 1", scheme, ep)
+		}
+		end := sys.Kernel.Now()
+		sum := sys.Injector.Summary()
+		_, sys2, err2 := run()
+		if err2 != nil {
+			t.Fatalf("%v: rerun failed: %v", scheme, err2)
+		}
+		if end2 := sys2.Kernel.Now(); end2 != end {
+			t.Errorf("%v: rerun finished at cycle %d, first run at %d", scheme, end2, end)
+		}
+		if sum2 := sys2.Injector.Summary(); sum2 != sum {
+			t.Errorf("%v: rerun event summary differs:\nfirst:\n%s\nrerun:\n%s", scheme, sum, sum2)
+		}
+	}
+}
+
+// TestFaultToleranceLinkDownRetry severs a device's PCIe link (memory
+// survives, cores keep computing): held frames must replay after the
+// link returns and the run must complete intact without any MPB wipe.
+func TestFaultToleranceLinkDownRetry(t *testing.T) {
+	cfg := &fault.Config{
+		Seed:          17,
+		DevLinkDownAt: []fault.DeviceFault{{At: 150_000, Dev: 1}},
+		Recovery:      fault.Recovery{DeviceRetry: true},
+	}
+	ok, sys, err := runFaultScenario(vscc.SchemeRemotePut, cfg, 4096, 12)
+	if err != nil {
+		t.Fatalf("run did not survive the link outage: %v", err)
+	}
+	if !ok {
+		t.Fatal("payload corrupted across the link outage")
+	}
+	if got := sys.Injector.Stat("inject.devlinkdown"); got != 1 {
+		t.Errorf("inject.devlinkdown = %d, want 1", got)
+	}
+	if got := sys.Injector.Stat("recover.rejoin"); got != 1 {
+		t.Errorf("recover.rejoin = %d, want 1", got)
+	}
+	if ep := sys.Membership.Epoch(1); ep != 1 {
+		t.Errorf("device 1 epoch = %d, want 1", ep)
 	}
 }
 

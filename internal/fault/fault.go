@@ -57,10 +57,54 @@ type Config struct {
 	StallAt []StallWindow
 	CrashAt []sim.Cycles
 
+	// DevCrashAt takes a whole SCC device down: its MPB contents are
+	// lost at the crash and rebuilt on rejoin from the last checkpoint
+	// plus the write journal. DevLinkDownAt severs only the device's
+	// PCIe link (MPB state survives); posted frames are journaled and
+	// replayed after the link returns. Both drive the epoch-based
+	// membership machinery of internal/vscc.
+	DevCrashAt    []DeviceFault
+	DevLinkDownAt []DeviceFault
+
+	// CkptInterval is the period of the crash-consistent device
+	// checkpoints (0 = DefaultCkptInterval). Checkpoints are only taken
+	// while a device-fault schedule is armed.
+	CkptInterval sim.Cycles
+	// RejoinCycles is how long a failed device stays down before it
+	// rejoins (0 = DefaultRejoinCycles); DeviceFault.Down overrides it
+	// per fault.
+	RejoinCycles sim.Cycles
+
 	// Recovery tunes the detection/retry machinery; zero fields take
 	// DefaultRecovery values.
 	Recovery Recovery
 }
+
+// DeviceFault schedules one whole-device outage: device Dev fails at
+// cycle At and rejoins after Down cycles (0 = the Config's
+// RejoinCycles).
+type DeviceFault struct {
+	At   sim.Cycles
+	Dev  int
+	Down sim.Cycles
+}
+
+// DeviceFaultsArmed reports whether the schedule contains any
+// whole-device outage — the arming condition for checkpoints and the
+// membership manager.
+func (c *Config) DeviceFaultsArmed() bool {
+	return c != nil && (len(c.DevCrashAt) > 0 || len(c.DevLinkDownAt) > 0)
+}
+
+// Default device-lifecycle timing: checkpoints every 500k cycles, a
+// failed device returns after 200k (≈ 2 watchdog periods), and the
+// membership manager lets in-flight committed traffic drain for 50k
+// cycles before declaring the device down.
+const (
+	DefaultCkptInterval = sim.Cycles(500_000)
+	DefaultRejoinCycles = sim.Cycles(200_000)
+	DefaultDrainCycles  = sim.Cycles(50_000)
+)
 
 // StallWindow freezes the host task at cycle At for For cycles.
 type StallWindow struct {
@@ -95,6 +139,18 @@ type Recovery struct {
 	// protocol abandons its fast path and falls back to transparent
 	// routing. 0 never degrades.
 	DegradeAfter int
+
+	// PromoteAfter is the hysteresis of the degradation latch: after
+	// this many consecutive clean transfers a degraded device is
+	// re-promoted to the fast path (its recovery count resets). -1
+	// keeps the latch permanent; 0 takes the default.
+	PromoteAfter int
+
+	// DeviceRetry opts protocol waits into transparent device-loss
+	// retry: an engaged wait whose peer device is down blocks until the
+	// device rejoins instead of consuming retry-ladder attempts. Off,
+	// the wait fails deterministically with rcce.ErrDeviceLost.
+	DeviceRetry bool
 }
 
 // DefaultRecovery returns the recovery parameters used when a Config (or
@@ -109,11 +165,13 @@ func DefaultRecovery() Recovery {
 		WatchdogCycles: 100_000,
 		VerifyRetries:  8,
 		DegradeAfter:   0,
+		PromoteAfter:   32,
 	}
 }
 
 // withDefaults fills zero fields from DefaultRecovery. VerifyRetries -1
-// is kept (disabled), as is DegradeAfter 0 (never).
+// is kept (disabled), as are DegradeAfter 0 (never) and PromoteAfter -1
+// (permanent latch).
 func (r Recovery) withDefaults() Recovery {
 	d := DefaultRecovery()
 	if r.RetxTimeout == 0 {
@@ -133,6 +191,9 @@ func (r Recovery) withDefaults() Recovery {
 	}
 	if r.VerifyRetries == 0 {
 		r.VerifyRetries = d.VerifyRetries
+	}
+	if r.PromoteAfter == 0 {
+		r.PromoteAfter = d.PromoteAfter
 	}
 	return r
 }
@@ -177,6 +238,7 @@ type Injector struct {
 
 	streams   map[streamKey]*splitmix
 	recovered map[int]int // per-device recovery count, feeds Degraded
+	clean     map[int]int // consecutive clean transfers, feeds re-promotion
 	stats     map[string]int64
 
 	events  []Event
@@ -200,6 +262,7 @@ func NewInjector(k *sim.Kernel, cfg Config) *Injector {
 		rec:       cfg.Recovery.withDefaults(),
 		streams:   make(map[streamKey]*splitmix),
 		recovered: make(map[int]int),
+		clean:     make(map[int]int),
 		stats:     make(map[string]int64),
 	}
 }
@@ -332,6 +395,7 @@ func (inj *Injector) RecordRecovery(kind, site string, dev int) {
 	inj.note("recover."+kind, site, dev)
 	if dev >= 0 {
 		inj.recovered[dev]++
+		inj.clean[dev] = 0
 	}
 }
 
@@ -344,11 +408,52 @@ func (inj *Injector) Degraded(dev int) bool {
 	return inj.recovered[dev] >= inj.rec.DegradeAfter
 }
 
-// note appends to the event log and mirrors into stats and the sink.
+// RecoveryCount returns device dev's recovery count (0 on nil) — the
+// before/after probe the protocol uses to classify a transfer as clean.
+func (inj *Injector) RecoveryCount(dev int) int {
+	if inj == nil {
+		return 0
+	}
+	return inj.recovered[dev]
+}
+
+// CleanTransfer records one transfer that touched device dev without
+// needing any recovery. After Recovery.PromoteAfter consecutive clean
+// transfers a degraded device is re-promoted: its recovery count and
+// streak reset, and the promotion is logged ("recover.promote"). The
+// hysteresis closes the permanent-degradation latch: a burst of faults
+// pushes a device off its fast path, but a healthy stretch brings the
+// fast path back.
+func (inj *Injector) CleanTransfer(dev int) {
+	if inj == nil || dev < 0 {
+		return
+	}
+	inj.clean[dev]++
+	if inj.rec.PromoteAfter <= 0 || inj.clean[dev] < inj.rec.PromoteAfter {
+		return
+	}
+	inj.clean[dev] = 0
+	if inj.Degraded(dev) {
+		inj.recovered[dev] = 0
+		inj.note("recover.promote", "vscc.proto", dev)
+	} else {
+		// A long clean streak also forgives sub-threshold recoveries,
+		// so ancient faults cannot combine with fresh ones to degrade.
+		inj.recovered[dev] = 0
+	}
+}
+
+// note appends to the event log and mirrors into stats and the sink —
+// both the aggregate counter and, for device-specific events, a
+// per-device variant ("fault.recover.retx.d1") that feeds the
+// `vscctrace -recovery` table.
 func (inj *Injector) note(kind, site string, dev int) {
 	inj.stats[kind]++
 	if inj.sink.Enabled() {
 		inj.sink.Add("fault."+kind, 1)
+		if dev >= 0 {
+			inj.sink.Add("fault."+kind+".d"+strconv.Itoa(dev), 1)
+		}
 	}
 	if len(inj.events) >= maxEvents {
 		inj.dropped++
@@ -430,6 +535,10 @@ func hashSite(site string) uint64 {
 //	mmio=N            vDMA register-write corruption rate
 //	stall=AT:FOR      freeze the host task at cycle AT for FOR cycles (repeatable)
 //	crash=AT          crash the host task at cycle AT (repeatable)
+//	devcrash=AT:DEV[:DOWN]    crash device DEV at cycle AT, rejoin after DOWN (repeatable)
+//	devlinkdown=AT:DEV[:DOWN] sever device DEV's PCIe link at cycle AT (repeatable)
+//	ckpt=N            device checkpoint interval [cycles]
+//	rejoin=N          default device down time before rejoin [cycles]
 //	retx=N            base retransmission timeout [cycles]
 //	maxretx=N         retransmission attempts bound
 //	budget=N          base engaged-wait budget [cycles]
@@ -437,6 +546,8 @@ func hashSite(site string) uint64 {
 //	watchdog=N        crash-restart delay [cycles]
 //	verify=N          flag write-verify retries (-1 disables)
 //	degrade=N         per-device recoveries before falling back to routing
+//	promote=N         consecutive clean transfers before re-promotion (-1 latches)
+//	devretry=0|1      transparent retry across device loss (default 0: ErrDeviceLost)
 //
 // Example: "seed=42,drop=200,delay=100:5000,crash=400000,degrade=10".
 // An empty spec returns (nil, nil): faults disabled.
@@ -543,6 +654,44 @@ func applySetting(cfg *Config, key, val string) error {
 			return err
 		}
 		cfg.CrashAt = append(cfg.CrashAt, sim.Cycles(n))
+	case "devcrash", "devlinkdown":
+		parts := strings.Split(val, ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return fmt.Errorf("fault: %s=%q: want AT:DEV[:DOWN]", key, val)
+		}
+		at, err := atoi(parts[0])
+		if err != nil {
+			return err
+		}
+		dev, err := atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		df := DeviceFault{At: sim.Cycles(at), Dev: dev}
+		if len(parts) == 3 {
+			down, err := atoi(parts[2])
+			if err != nil {
+				return err
+			}
+			df.Down = sim.Cycles(down)
+		}
+		if key == "devcrash" {
+			cfg.DevCrashAt = append(cfg.DevCrashAt, df)
+		} else {
+			cfg.DevLinkDownAt = append(cfg.DevLinkDownAt, df)
+		}
+	case "ckpt":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.CkptInterval = sim.Cycles(n)
+	case "rejoin":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.RejoinCycles = sim.Cycles(n)
 	case "retx":
 		n, err := atoi(val)
 		if err != nil {
@@ -585,6 +734,18 @@ func applySetting(cfg *Config, key, val string) error {
 			return err
 		}
 		cfg.Recovery.DegradeAfter = n
+	case "promote":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.PromoteAfter = n
+	case "devretry":
+		n, err := atoi(val)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery.DeviceRetry = n != 0
 	default:
 		return fmt.Errorf("fault: unknown setting %q", key)
 	}

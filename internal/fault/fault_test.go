@@ -126,6 +126,158 @@ func TestDegradedThreshold(t *testing.T) {
 	}
 }
 
+// TestPromoteHysteresis tables the re-promotion latch: PromoteAfter
+// consecutive clean transfers reset a degraded device to its fast path,
+// any recovery resets the streak, and -1 keeps the legacy permanent
+// latch. The hysteresis is the fix for the one-way degradation of the
+// original design, where a single early fault burst banished a device
+// from its fast path for the rest of a long run.
+func TestPromoteHysteresis(t *testing.T) {
+	cases := []struct {
+		name         string
+		promoteAfter int
+		script       func(inj *Injector) // drive recoveries/cleans
+		degraded     bool                // expected Degraded(1) afterwards
+		promotions   int64               // expected recover.promote count
+	}{
+		{
+			name:         "clean streak re-promotes",
+			promoteAfter: 4,
+			script: func(inj *Injector) {
+				for i := 0; i < 3; i++ {
+					inj.RecordRecovery("retx", "pcie.h2d", 1)
+				}
+				for i := 0; i < 4; i++ {
+					inj.CleanTransfer(1)
+				}
+			},
+			degraded:   false,
+			promotions: 1,
+		},
+		{
+			name:         "streak below threshold stays degraded",
+			promoteAfter: 4,
+			script: func(inj *Injector) {
+				for i := 0; i < 3; i++ {
+					inj.RecordRecovery("retx", "pcie.h2d", 1)
+				}
+				for i := 0; i < 3; i++ {
+					inj.CleanTransfer(1)
+				}
+			},
+			degraded:   true,
+			promotions: 0,
+		},
+		{
+			name:         "recovery resets the streak",
+			promoteAfter: 4,
+			script: func(inj *Injector) {
+				for i := 0; i < 3; i++ {
+					inj.RecordRecovery("retx", "pcie.h2d", 1)
+				}
+				for i := 0; i < 3; i++ {
+					inj.CleanTransfer(1)
+				}
+				inj.RecordRecovery("retx", "pcie.h2d", 1) // streak back to 0
+				for i := 0; i < 3; i++ {
+					inj.CleanTransfer(1)
+				}
+			},
+			degraded:   true,
+			promotions: 0,
+		},
+		{
+			name:         "permanent latch with PromoteAfter=-1",
+			promoteAfter: -1,
+			script: func(inj *Injector) {
+				for i := 0; i < 3; i++ {
+					inj.RecordRecovery("retx", "pcie.h2d", 1)
+				}
+				for i := 0; i < 1000; i++ {
+					inj.CleanTransfer(1)
+				}
+			},
+			degraded:   true,
+			promotions: 0,
+		},
+		{
+			name:         "sub-threshold recoveries are forgiven silently",
+			promoteAfter: 4,
+			script: func(inj *Injector) {
+				// 2 recoveries (below DegradeAfter=3), then a clean
+				// streak: the count resets without a promotion event, so
+				// ancient faults cannot pool with fresh ones.
+				inj.RecordRecovery("retx", "pcie.h2d", 1)
+				inj.RecordRecovery("retx", "pcie.h2d", 1)
+				for i := 0; i < 4; i++ {
+					inj.CleanTransfer(1)
+				}
+				inj.RecordRecovery("retx", "pcie.h2d", 1)
+				inj.RecordRecovery("retx", "pcie.h2d", 1)
+			},
+			degraded:   false, // 2+2 recoveries, but the streak wiped the first 2
+			promotions: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := NewInjector(sim.NewKernel(), Config{
+				Recovery: Recovery{DegradeAfter: 3, PromoteAfter: tc.promoteAfter},
+			})
+			tc.script(inj)
+			if got := inj.Degraded(1); got != tc.degraded {
+				t.Errorf("Degraded(1) = %v, want %v", got, tc.degraded)
+			}
+			if got := inj.Stat("recover.promote"); got != tc.promotions {
+				t.Errorf("recover.promote = %d, want %d", got, tc.promotions)
+			}
+			// The untouched device is never disturbed.
+			if inj.Degraded(0) || inj.RecoveryCount(0) != 0 {
+				t.Error("device 0 state disturbed")
+			}
+		})
+	}
+	// Nil-receiver safety of the new surface.
+	var nilInj *Injector
+	nilInj.CleanTransfer(1)
+	if nilInj.RecoveryCount(1) != 0 {
+		t.Error("nil injector reported a recovery count")
+	}
+}
+
+// TestParseSpecDeviceFaults covers the device-fault grammar added for
+// the membership machinery.
+func TestParseSpecDeviceFaults(t *testing.T) {
+	cfg, err := ParseSpec("devcrash=200000:1,devcrash=900000:0:400000,devlinkdown=5000:2,ckpt=250000,rejoin=150000,promote=16,devretry=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Config{
+		DevCrashAt: []DeviceFault{
+			{At: 200000, Dev: 1},
+			{At: 900000, Dev: 0, Down: 400000},
+		},
+		DevLinkDownAt: []DeviceFault{{At: 5000, Dev: 2}},
+		CkptInterval:  250000,
+		RejoinCycles:  150000,
+		Recovery:      Recovery{PromoteAfter: 16, DeviceRetry: true},
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Errorf("ParseSpec:\n got %+v\nwant %+v", cfg, want)
+	}
+	if !cfg.DeviceFaultsArmed() {
+		t.Error("device schedule not reported as armed")
+	}
+	if (&Config{Seed: 1}).DeviceFaultsArmed() || (*Config)(nil).DeviceFaultsArmed() {
+		t.Error("armed without any device fault")
+	}
+	for _, bad := range []string{"devcrash=5", "devcrash=a:1", "devcrash=1:b", "devcrash=1:2:c", "devcrash=1:2:3:4", "devlinkdown=x", "ckpt=x", "rejoin=x", "promote=x", "devretry=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestRecoveryDefaults(t *testing.T) {
 	r := (Recovery{}).withDefaults()
 	if r != DefaultRecovery() {

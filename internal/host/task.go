@@ -132,6 +132,12 @@ type Task struct {
 	// nobody acts on the doorbell. A stall drains the queue on resume; a
 	// crash loses it (the device-side retry ladder re-programs).
 	pendingCmds []BankCommand
+	// devGates model per-device reachability for the task's synchronous
+	// paths: the membership manager closes a gate while a device is down,
+	// so blocking reads and transparent forwards toward it park until the
+	// rejoin instead of touching wiped memory. Open the whole run when no
+	// device faults are armed (zero cost — an open gate never parks).
+	devGates []*sim.Gate
 
 	// Observability (nil sink = disabled, zero overhead). fwdTracks
 	// carries the per-device forwarder-daemon occupancy tracks; wcbGauges
@@ -173,6 +179,9 @@ func New(k *sim.Kernel, fabric *pcie.Fabric, chips []*scc.Chip, params Params) (
 			bufLines = 1 // placeholder; streaming is disabled
 		}
 		t.sifBufs = append(t.sifBufs, newSIFBuffer(k, d, bufLines))
+		g := sim.NewGate(k, fmt.Sprintf("dev%d.reachable", d))
+		g.Open()
+		t.devGates = append(t.devGates, g)
 		t.wcbPending = append(t.wcbPending, 0)
 		t.wcbCond = append(t.wcbCond, sim.NewCond(k, fmt.Sprintf("wcbpending.d%d", d)))
 		t.deliverQ = append(t.deliverQ, sim.NewQueue[deliverItem](k, fmt.Sprintf("deliverq.d%d", d)))
@@ -288,6 +297,18 @@ func (t *Task) restart() {
 	t.gate.Open()
 }
 
+// DeviceDown marks a device unreachable: the membership manager calls
+// it when the device leaves the drain window. Synchronous host paths
+// toward the device park on its gate; posted traffic is already held in
+// the PCIe journals by the framing layer.
+func (t *Task) DeviceDown(d int) { t.devGates[d].Close() }
+
+// DeviceUp reopens a device's gate after its rejoin.
+func (t *Task) DeviceUp(d int) { t.devGates[d].Open() }
+
+// devWait parks p while device d is unreachable.
+func (t *Task) devWait(p *sim.Proc, d int) { t.devGates[d].Wait(p) }
+
 // cacheClean verifies the checksum of a cached line before it is served.
 // A mismatch means the line was corrupted in host memory: drop it (the
 // reader falls back to a path that refetches correct data) and count the
@@ -395,6 +416,7 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 		}
 	}
 	// Slow path: cross to the host.
+	t.devWait(p, srcDev)
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
 	p.Delay(t.Fabric.Params.HostOpCycles)
@@ -416,7 +438,9 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 		}
 		t.sink.Add("host.cache_miss", 1)
 	}
-	// Transparent forward to the owning device.
+	// Transparent forward to the owning device; an unreachable owner
+	// parks the read until its rejoin restores the exact same bytes.
+	t.devWait(p, dev)
 	tl := t.Fabric.Link(dev)
 	tl.H2D.Transfer(p, t.Params.ReqBytes)
 	var line [mem.LineSize]byte
@@ -547,6 +571,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	case pcie.AckHost:
 		// The communication task acknowledges data writes on receipt;
 		// delivery to the target device continues asynchronously.
+		t.devWait(p, srcDev)
 		link.D2H.Transfer(p, mem.LineSize)
 		p.Delay(t.Fabric.Params.HostOpCycles)
 		t.gate.Wait(p)
@@ -558,12 +583,14 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	case pcie.AckRemote:
 		// Transparent routing: the acknowledge comes back from the
 		// remote device — the previous prototype's two-round-trip path.
+		t.devWait(p, srcDev)
 		link.D2H.Transfer(p, mem.LineSize)
 		p.Delay(t.Fabric.Params.HostOpCycles)
 		t.gate.Wait(p)
 		if isFlag {
 			t.fence(p, dev)
 		}
+		t.devWait(p, dev)
 		tl := t.Fabric.Link(dev)
 		tl.H2D.Transfer(p, mem.LineSize)
 		t.deliver(dev, tile, off, data, mask)
@@ -770,6 +797,7 @@ func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, dat
 // MMIORead implements scc.OffChipPort: a blocking register read.
 func (t *Task) MMIORead(p *sim.Proc, srcDev, srcCore, hostDev, off int, buf []byte) {
 	t.meshToSIF(p, srcDev, srcCore, t.Params.ReqBytes)
+	t.devWait(p, srcDev)
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
 	p.Delay(t.Fabric.Params.HostOpCycles)

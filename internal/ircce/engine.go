@@ -163,7 +163,35 @@ func (e *Engine) WaitAll(reqs ...*Request) {
 		if e.anyActionable() {
 			continue
 		}
+		e.checkLostPeers()
 		e.r.WaitAnyLocalChangeFor(0)
+	}
+}
+
+// peerLossChecker is implemented by wire protocols that track device
+// membership (vscc): a non-nil error means the peer's device is gone
+// and transparent retry is off. WaitAll consults it before sleeping so
+// a stalled engine fails deterministically instead of parking forever.
+type peerLossChecker interface {
+	LostPeer(r *rcce.Rank, peer int) error
+}
+
+// checkLostPeers panics with the protocol's device-loss error if any
+// stalled queue head's peer sits on a lost device.
+func (e *Engine) checkLostPeers() {
+	ck, ok := e.r.Session().Protocol().(peerLossChecker)
+	if !ok {
+		return
+	}
+	for _, peer := range sortedPeers(e.sendQ) {
+		if err := ck.LostPeer(e.r, peer); err != nil {
+			panic(err)
+		}
+	}
+	for _, peer := range sortedPeers(e.recvQ) {
+		if err := ck.LostPeer(e.r, peer); err != nil {
+			panic(err)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 
 	"vscc/internal/fault"
 	"vscc/internal/noc"
@@ -29,11 +30,19 @@ import (
 const HeaderBytes = 20
 
 // Header is the SIF frame header: sequence number, payload length, a
-// kind tag, and a CRC-32 over the rest.
+// kind tag, the membership epoch of the target device, and a CRC-32
+// over the rest.
 type Header struct {
 	Seq    uint64
 	Length uint32
 	Kind   byte
+	// Epoch is the device membership epoch the frame was stamped with
+	// (see vscc.Membership). A frame whose epoch disagrees with the
+	// receiver's current epoch is pre-crash traffic and is rejected.
+	// Epoch 0 — no membership manager — encodes exactly as the old
+	// reserved byte, so armed runs without device faults stay
+	// byte-identical.
+	Epoch uint8
 }
 
 // EncodeHeader serializes h with its CRC.
@@ -42,7 +51,9 @@ func EncodeHeader(h Header) [HeaderBytes]byte {
 	binary.LittleEndian.PutUint64(b[0:], h.Seq)
 	binary.LittleEndian.PutUint32(b[8:], h.Length)
 	b[12] = h.Kind
-	b[13] = 0x5A // frame marker; b[14:16] reserved
+	b[13] = 0x5A // frame marker
+	b[14] = h.Epoch
+	// b[15] reserved; the CRC covers it, the marker and the epoch.
 	binary.LittleEndian.PutUint32(b[16:], crc32.ChecksumIEEE(b[:16]))
 	return b
 }
@@ -58,8 +69,8 @@ func DecodeHeader(b []byte) (Header, error) {
 	if b[13] != 0x5A {
 		return Header{}, fmt.Errorf("%w: marker %#x", ErrBadFrame, b[13])
 	}
-	if b[14] != 0 || b[15] != 0 {
-		return Header{}, fmt.Errorf("%w: reserved bytes %#x %#x", ErrBadFrame, b[14], b[15])
+	if b[15] != 0 {
+		return Header{}, fmt.Errorf("%w: reserved byte %#x", ErrBadFrame, b[15])
 	}
 	if got, want := binary.LittleEndian.Uint32(b[16:]), crc32.ChecksumIEEE(b[:16]); got != want {
 		return Header{}, fmt.Errorf("%w: crc %#08x, want %#08x", ErrBadFrame, got, want)
@@ -68,7 +79,19 @@ func DecodeHeader(b []byte) (Header, error) {
 		Seq:    binary.LittleEndian.Uint64(b[0:]),
 		Length: binary.LittleEndian.Uint32(b[8:]),
 		Kind:   b[12],
+		Epoch:  b[14],
 	}, nil
+}
+
+// DeviceView is the membership manager's answer to "may I talk to this
+// device right now, and in which epoch". A nil view (no device faults
+// armed) means every device is permanently usable in epoch 0.
+type DeviceView interface {
+	// Usable reports whether device dev is Up or Draining — i.e. frames
+	// to and from it may still use the wire.
+	Usable(dev int) bool
+	// Epoch returns device dev's current membership epoch.
+	Epoch(dev int) uint8
 }
 
 // outPacket is one posted transfer awaiting acknowledgement-by-arrival.
@@ -92,6 +115,8 @@ type Channel struct {
 	site string
 	dev  int
 	rec  fault.Recovery
+	// view gates the wire on device membership; nil means always up.
+	view DeviceView
 
 	nextSeq   uint64 // last sequence number issued
 	delivered uint64 // highest sequence delivered in order
@@ -129,6 +154,14 @@ func (c *Channel) Post(p *sim.Proc, bytes int, deliver func()) {
 	c.transmit(p, c.nextSeq)
 }
 
+// epoch returns the current membership epoch of this channel's device.
+func (c *Channel) epoch() uint8 {
+	if c.view == nil {
+		return 0
+	}
+	return c.view.Epoch(c.dev)
+}
+
 // transmit pushes one attempt of packet seq onto the wire and arms its
 // retransmission timer.
 func (c *Channel) transmit(p *sim.Proc, seq uint64) {
@@ -136,8 +169,16 @@ func (c *Channel) transmit(p *sim.Proc, seq uint64) {
 	if op == nil || op.arrived {
 		return
 	}
+	if c.view != nil && !c.view.Usable(c.dev) {
+		// The device is down: hold the frame in the journal without
+		// burning the wire or a retransmission attempt. The timer keeps
+		// ticking at the base period so the frame re-offers itself, and
+		// the membership manager's rejoin replay re-drives it at once.
+		op.cancelRetx = c.k.AfterCancel(c.rec.RetxTimeout, func() { c.checkRetx(seq) })
+		return
+	}
 	op.attempts++
-	frame := EncodeHeader(Header{Seq: seq, Length: uint32(op.bytes)})
+	frame := EncodeHeader(Header{Seq: seq, Length: uint32(op.bytes), Epoch: c.epoch()})
 	v := c.inj.PacketFault(c.site, c.dev)
 	switch {
 	case v.Drop:
@@ -176,7 +217,26 @@ func (c *Channel) receive(frame [HeaderBytes]byte) {
 		c.inj.RecordRecovery("crc-reject", c.site, c.dev)
 		return
 	}
-	if h.Seq <= c.delivered {
+	if c.view != nil {
+		if !c.view.Usable(c.dev) {
+			// The endpoint is down; whatever was still in flight is
+			// void. The sender's journal replays it after rejoin.
+			c.inj.RecordRecovery("dev-reject", c.site, c.dev)
+			return
+		}
+		if h.Epoch != c.view.Epoch(c.dev) {
+			// Pre-crash traffic surfacing in a later epoch (a delayed or
+			// duplicated frame that outlived its device incarnation).
+			// Rejecting it is what makes rejoin safe; retransmission
+			// re-stamps the current epoch and recovers the payload.
+			c.inj.RecordRecovery("epoch-reject", c.site, c.dev)
+			return
+		}
+	}
+	// The signed distance tolerates sequence-number wraparound: a frame
+	// just past a delivered counter near ^uint64(0) must still count as
+	// new, not as a duplicate from 2^64 packets ago.
+	if int64(h.Seq-c.delivered) <= 0 {
 		// Duplicate of an already-delivered frame: idempotent discard.
 		c.inj.RecordRecovery("dup-discard", c.site, c.dev)
 		return
@@ -227,6 +287,39 @@ func (c *Channel) checkRetx(seq uint64) {
 // Backlog reports the packets posted but not yet delivered in order.
 func (c *Channel) Backlog() int { return len(c.outstanding) }
 
+// Replay retransmits every journaled frame that has not arrived yet, in
+// sequence order (sorted, so a rejoin replays deterministically). It
+// returns the frame and byte totals, for the replay.* trace counters.
+// Each replayed frame is re-stamped with the device's current epoch.
+func (c *Channel) Replay(p *sim.Proc) (frames, bytes int) {
+	if c.outstanding == nil {
+		return 0, 0
+	}
+	seqs := make([]uint64, 0, len(c.outstanding))
+	for seq, op := range c.outstanding {
+		if !op.arrived {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return int64(seqs[i]-seqs[j]) < 0 })
+	for _, seq := range seqs {
+		op := c.outstanding[seq]
+		if op == nil || op.arrived {
+			// Delivered while an earlier replay parked on the wire for
+			// serialization: transmit charges p the link occupancy, and
+			// in-flight arrivals may drain the reorder buffer meanwhile.
+			continue
+		}
+		if op.cancelRetx != nil {
+			op.cancelRetx()
+		}
+		frames++
+		bytes += op.bytes
+		c.transmit(p, seq)
+	}
+	return frames, bytes
+}
+
 // SetFaults arms sequence-numbered replay on every link of the fabric.
 // Must be called before any posted traffic.
 func (f *Fabric) SetFaults(k *sim.Kernel, inj *fault.Injector) {
@@ -234,6 +327,25 @@ func (f *Fabric) SetFaults(k *sim.Kernel, inj *fault.Injector) {
 		pair.d2h.arm(k, inj)
 		pair.h2d.arm(k, inj)
 	}
+}
+
+// SetMembership installs a device membership view on every channel:
+// frames to a down device are journaled instead of transmitted, and
+// cross-epoch arrivals are rejected. Requires SetFaults first (the
+// fault-free fast path has no framing to stamp epochs into).
+func (f *Fabric) SetMembership(v DeviceView) {
+	for _, pair := range f.chans {
+		pair.d2h.view = v
+		pair.h2d.view = v
+	}
+}
+
+// ReplayDevice retransmits both directions of device d's journal after
+// a rejoin and returns the combined frame/byte totals.
+func (f *Fabric) ReplayDevice(p *sim.Proc, d int) (frames, bytes int) {
+	fr1, by1 := f.chans[d].h2d.Replay(p)
+	fr2, by2 := f.chans[d].d2h.Replay(p)
+	return fr1 + fr2, by1 + by2
 }
 
 // PostD2H sends a posted device-to-host transfer on device d's link

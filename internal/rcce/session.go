@@ -26,6 +26,12 @@ import (
 // MaxRanks bounds a session; the vSCC grid of five devices has 240 cores.
 const MaxRanks = 256
 
+// ErrDeviceLost is the deterministic error surfaced when a blocking
+// operation's peer device crashes or loses its link and transparent
+// retry is not enabled (fault spec devretry=0). Callers match it with
+// errors.Is on the error returned by Run.
+var ErrDeviceLost = errors.New("rcce: peer device lost")
+
 // Flag area layout: each rank's 8 KB MPB half reserves the top
 // 2*MaxRanks bytes for the sent/ready flag arrays, indexed by peer rank.
 const (
@@ -194,7 +200,13 @@ func (s *Session) Launch(rank int, program func(*Rank)) {
 		r.initMPB()
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %v", rank, rec))
+				if err, ok := rec.(error); ok {
+					// Preserve error identity (errors.Is on
+					// ErrDeviceLost and friends) through the panic.
+					s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %w", rank, err))
+				} else {
+					s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %v", rank, rec))
+				}
 			}
 		}()
 		program(r)

@@ -88,6 +88,16 @@ type Chip struct {
 	// the fault-injection hook for lost remote flag writes. It returns
 	// true to drop the store. Nil means every store lands.
 	hostDrop func(tile, off, n int) bool
+
+	// lifecycle, when set, gates every core memory operation on device
+	// membership: while the device is down (gate closed) its cores park
+	// at their next operation and resume when the device rejoins. Nil —
+	// no device-fault schedule — costs one predictable-branch nil check.
+	lifecycle *sim.Gate
+
+	// writeObs, when set, observes every store into on-chip memory —
+	// the checkpoint journal feed. It must not touch simulated time.
+	writeObs func(tile, off int, data []byte)
 }
 
 // NewChip builds device index with the given timing parameters.
@@ -182,6 +192,9 @@ func (c *Chip) Launch(core int, name string, body func(*Ctx)) *sim.Proc {
 func (c *Chip) writeLMB(tile, off int, data []byte) {
 	t := c.Tiles[tile]
 	t.LMB.Write(off, data)
+	if c.writeObs != nil {
+		c.writeObs(tile, off, data)
+	}
 	if c.check != nil {
 		c.check.bumpRange(c.Index, tile, off, len(data))
 	}
@@ -210,6 +223,64 @@ func (c *Chip) SetHostWriteDropper(fn func(tile, off, n int) bool) { c.hostDrop 
 
 // HostReadLMB is the host-side read counterpart.
 func (c *Chip) HostReadLMB(tile, off int, buf []byte) { c.readLMB(tile, off, buf) }
+
+// SetLifecycleGate installs the membership gate every core memory
+// operation blocks on while the device is down (see vscc.Membership).
+func (c *Chip) SetLifecycleGate(g *sim.Gate) { c.lifecycle = g }
+
+// SetWriteObserver installs the store observer feeding the checkpoint
+// journal. Wipe/restore bypass it: reconstruction must not journal
+// itself.
+func (c *Chip) SetWriteObserver(fn func(tile, off int, data []byte)) { c.writeObs = fn }
+
+// barrier parks p while the device is down. Cores freeze at their next
+// memory operation when the chip crashes and thaw on rejoin — the
+// process-level model of "the core image is part of the checkpoint".
+func (c *Chip) barrier(p *sim.Proc) {
+	if c.lifecycle != nil {
+		c.lifecycle.Wait(p)
+	}
+}
+
+// SnapshotLMB copies every tile's LMB image — the checkpoint capture.
+func (c *Chip) SnapshotLMB() [][]byte {
+	out := make([][]byte, len(c.Tiles))
+	for i, t := range c.Tiles {
+		img := make([]byte, t.LMB.Size())
+		t.LMB.Read(0, img)
+		out[i] = img
+	}
+	return out
+}
+
+// LoadLMB overwrites every tile's LMB with a restored image, bypassing
+// the write observer (restoration is not new traffic) but waking flag
+// waiters and bumping the consistency oracle like any other store.
+func (c *Chip) LoadLMB(img [][]byte) {
+	for i, t := range c.Tiles {
+		if i >= len(img) || img[i] == nil {
+			continue
+		}
+		t.LMB.Write(0, img[i])
+		if c.check != nil {
+			c.check.bumpRange(c.Index, i, 0, len(img[i]))
+		}
+		t.changed.Broadcast()
+	}
+}
+
+// WipeLMB zeroes every tile's LMB — the crash: on-chip memory contents
+// are lost the instant the device goes down.
+func (c *Chip) WipeLMB() {
+	for i, t := range c.Tiles {
+		zero := make([]byte, t.LMB.Size())
+		t.LMB.Write(0, zero)
+		if c.check != nil {
+			c.check.bumpRange(c.Index, i, 0, len(zero))
+		}
+		t.changed.Broadcast()
+	}
+}
 
 // lineKey builds the global cache-line key for (device, tile, line).
 func lineKey(dev, tile, off int) uint64 {

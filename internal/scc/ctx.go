@@ -76,6 +76,7 @@ func (c *Ctx) invalidateL1() {
 // foreign device, through the off-chip port.
 func (c *Ctx) ReadMPB(dev, tile, off int, buf []byte) {
 	chip := c.chip()
+	chip.barrier(c.Proc)
 	p := chip.Params
 	n := 0
 	for n < len(buf) {
@@ -122,6 +123,7 @@ func (c *Ctx) ReadMPB(dev, tile, off int, buf []byte) {
 // write-combine buffer. Stores are posted: the core is charged the drain
 // cost, not a mesh round trip. Call FlushWCB before signalling a peer.
 func (c *Ctx) WriteMPB(dev, tile, off int, data []byte) {
+	c.chip().barrier(c.Proc)
 	n := 0
 	for n < len(data) {
 		lineBase := (off + n) &^ (mem.LineSize - 1)
@@ -141,6 +143,7 @@ func (c *Ctx) WriteMPB(dev, tile, off int, data []byte) {
 
 // FlushWCB drains any pending write-combine line.
 func (c *Ctx) FlushWCB() {
+	c.chip().barrier(c.Proc)
 	if drained := c.Core.WCB.Flush(); drained != nil {
 		c.drain(drained)
 	}
@@ -205,6 +208,7 @@ func (c *Ctx) applyMasked(fn func(off int, b []byte), pd *mem.Pending) {
 // that contiguous registers within one 32 B line fuse into a single
 // off-chip transaction (the paper's vDMA programming trick).
 func (c *Ctx) MMIOWrite(hostDev, off int, data []byte) {
+	c.chip().barrier(c.Proc)
 	n := 0
 	for n < len(data) {
 		lineBase := (off + n) &^ (mem.LineSize - 1)
@@ -225,6 +229,7 @@ func (c *Ctx) MMIOWrite(hostDev, off int, data []byte) {
 // MMIORead reads a host register — uncached, blocking for the full
 // off-chip round trip.
 func (c *Ctx) MMIORead(hostDev, off int, buf []byte) {
+	c.chip().barrier(c.Proc)
 	c.chip().offChip().MMIORead(c.Proc, c.chip().Index, c.Core.ID, hostDev, off, buf)
 }
 
@@ -277,6 +282,11 @@ func (c *Ctx) WaitFlagFor(tile, off int, pred func(byte) bool, budget sim.Cycles
 	}
 	var b [1]byte
 	for {
+		// Each poll iteration first parks on the lifecycle barrier: a
+		// spinning core must not observe the wiped or half-restored
+		// memory of a crashed device, it freezes with the device and
+		// resumes its poll after the rejoin restores the flag bytes.
+		chip.barrier(c.Proc)
 		// Each poll iteration invalidates MPBT state and reloads the
 		// flag, as RCCE's flag loop does.
 		c.invalidateL1()
@@ -286,6 +296,7 @@ func (c *Ctx) WaitFlagFor(tile, off int, pred func(byte) bool, budget sim.Cycles
 			return b[0], true
 		}
 		if !t.changed.WaitOrTimeout(c.Proc, to) {
+			chip.barrier(c.Proc)
 			c.invalidateL1()
 			c.delayCore(chip.Params.FlagPollCycles)
 			chip.readLMB(tile, off, b[:])
@@ -309,6 +320,7 @@ func (c *Ctx) PeekLMB(tile, off int) byte {
 // simulated time passes between the call and the wakeup; combine with
 // PeekLMB to build race-free wait loops.
 func (c *Ctx) WaitLMBChange(tile int) {
+	c.chip().barrier(c.Proc)
 	c.chip().Tiles[tile].changed.Wait(c.Proc)
 }
 
@@ -316,6 +328,7 @@ func (c *Ctx) WaitLMBChange(tile int) {
 // once budget cycles pass with no store landing. A zero budget waits
 // forever.
 func (c *Ctx) WaitLMBChangeFor(tile int, budget sim.Cycles) bool {
+	c.chip().barrier(c.Proc)
 	ch := c.chip().Tiles[tile].changed
 	if budget == 0 {
 		ch.Wait(c.Proc)
@@ -330,6 +343,7 @@ func (c *Ctx) WaitLMBChangeFor(tile int, budget sim.Cycles) bool {
 // ReadFlag performs a single coherent flag read (invalidate + load).
 func (c *Ctx) ReadFlag(tile, off int) byte {
 	chip := c.chip()
+	chip.barrier(c.Proc)
 	c.invalidateL1()
 	c.delayCore(chip.Params.FlagPollCycles)
 	var b [1]byte

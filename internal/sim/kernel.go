@@ -282,9 +282,17 @@ func (k *Kernel) After(d Cycles, fn func()) { k.At(k.now+d, fn) }
 // machinery cycle-identical to a run without it. cancel is idempotent
 // and harmless after the event has fired.
 func (k *Kernel) AfterCancel(d Cycles, fn func()) (cancel func()) {
-	k.schedule(k.now+d, nil, fn)
+	// fired makes cancel-after-dispatch a true no-op. Without it the
+	// cancel would insert a mark for an event that already ran — a mark
+	// nothing ever consumes, leaving nCancelled permanently non-zero and
+	// defeating the zero-cancellations fast path in the dispatch loop.
+	fired := false
+	k.schedule(k.now+d, nil, func() { fired = true; fn() })
 	seq := k.seq // schedule assigned this seq to the event just queued
 	return func() {
+		if fired {
+			return
+		}
 		if k.cancelled == nil {
 			k.cancelled = make(map[uint64]struct{})
 		}

@@ -144,6 +144,128 @@ func TestTimeoutRemovesMidQueueWaiter(t *testing.T) {
 	}
 }
 
+// A signal and the deadline landing on the same cycle must wake the
+// waiter exactly once, deterministically — in either scheduling order.
+// The contract (see WaitOrTimeout) is that the return value may be
+// false even though the signal arrived, so callers re-check their
+// predicate; what may never happen is a double wakeup or a
+// scheduling-order-dependent outcome.
+func TestWaitOrTimeoutSameCycleSignalVsTimeout(t *testing.T) {
+	run := func(signalFirst bool) (wakeups int, ok bool, woke Cycles) {
+		k := NewKernel()
+		c := NewCond(k, "flag")
+		if signalFirst {
+			k.After(100, c.Broadcast)
+		}
+		k.Spawn("waiter", func(p *Proc) {
+			to := c.ArmTimeout(100)
+			ok = c.WaitOrTimeout(p, to)
+			wakeups++
+			woke = p.Now()
+		})
+		if !signalFirst {
+			k.After(100, c.Broadcast)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return wakeups, ok, woke
+	}
+	for _, signalFirst := range []bool{true, false} {
+		wakeups, ok, woke := run(signalFirst)
+		if wakeups != 1 {
+			t.Errorf("signalFirst=%v: %d wakeups, want exactly 1", signalFirst, wakeups)
+		}
+		if ok {
+			t.Errorf("signalFirst=%v: same-cycle race reported success, want deterministic timeout", signalFirst)
+		}
+		if woke != 100 {
+			t.Errorf("signalFirst=%v: woke at cycle %d, want 100", signalFirst, woke)
+		}
+	}
+}
+
+// A same-cycle timeout expiry must not eat a Signal meant for a
+// tokenless neighbour: the vacated slot is skipped and the neighbour
+// still wakes.
+func TestTimeoutSameCycleDoesNotStealSignal(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "flag")
+	var timedOut, neighbourOK bool
+	var neighbourAt Cycles
+	k.Spawn("timed", func(p *Proc) {
+		to := c.ArmTimeout(100)
+		timedOut = !c.WaitOrTimeout(p, to)
+	})
+	k.Spawn("plain", func(p *Proc) {
+		c.Wait(p)
+		neighbourOK = true
+		neighbourAt = p.Now()
+	})
+	// Spawned after "timed", so this signal is scheduled behind the
+	// timeout event and lands on the same cycle, just after the expiry
+	// has vacated the tokened waiter's slot.
+	k.Spawn("signaller", func(p *Proc) {
+		p.Delay(100)
+		c.Signal()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut {
+		t.Error("tokened waiter did not time out")
+	}
+	if !neighbourOK {
+		t.Fatal("signal was lost to the expiring timeout's vacated slot")
+	}
+	if neighbourAt != 100 {
+		t.Errorf("neighbour woke at cycle %d, want 100", neighbourAt)
+	}
+}
+
+// Cancelling an event that already fired is a no-op: the callback ran
+// exactly once, repeated cancels stay harmless, and no stale
+// cancellation mark lingers to tax the dispatch fast path.
+func TestAfterCancelOfFiredEvent(t *testing.T) {
+	k := NewKernel()
+	fires := 0
+	cancel := k.AfterCancel(10, func() { fires++ })
+	done := false
+	k.Spawn("driver", func(p *Proc) {
+		p.Delay(50) // the event fires at cycle 10
+		cancel()
+		cancel() // idempotent
+		p.Delay(50)
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Errorf("callback ran %d times, want 1", fires)
+	}
+	if !done {
+		t.Error("driver did not complete")
+	}
+	if k.nCancelled != 0 {
+		t.Errorf("cancel of a fired event left %d stale cancellation mark(s)", k.nCancelled)
+	}
+	// A cancel before the deadline still suppresses the event entirely.
+	fires2 := 0
+	cancel2 := k.AfterCancel(10, func() { fires2++ })
+	cancel2()
+	k.Spawn("driver2", func(p *Proc) { p.Delay(100) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires2 != 0 {
+		t.Errorf("cancelled event fired %d times, want 0", fires2)
+	}
+	if k.nCancelled != 0 {
+		t.Errorf("consumed cancellation left %d mark(s)", k.nCancelled)
+	}
+}
+
 func TestNilTimeoutHelpers(t *testing.T) {
 	var to *Timeout
 	if to.Fired() {

@@ -217,6 +217,21 @@ func (e *AsyncEngine) WaitAll(reqs ...*AsyncRequest) {
 			continue
 		}
 		stalls++
+		// A stall against a crashed peer device is a device loss, not a
+		// lost flag: park until the rejoin (devretry=1) or fail with the
+		// deterministic sentinel.
+		if lost := e.lostPeerDev(); lost >= 0 {
+			if !ip.rec.DeviceRetry {
+				panic(fmt.Errorf("vscc: async engine rank %d: device %d lost at cycle %d: %w",
+					e.r.ID(), lost, e.r.Now(), rcce.ErrDeviceLost))
+			}
+			ip.faults.RecordRecovery("device-wait", "vscc.async", lost)
+			ip.mem.AwaitUp(e.r.Ctx().Proc, lost)
+			stalls = 0
+			budget = ip.rec.WaitBudget
+			e.rearmStalled()
+			continue
+		}
 		if stalls > ip.rec.MaxWaitRetries {
 			panic(fmt.Sprintf("vscc: async engine rank %d lost completion after %d retries at cycle %d: %s",
 				e.r.ID(), stalls-1, e.r.Now(), e.describeStalled()))
@@ -226,6 +241,27 @@ func (e *AsyncEngine) WaitAll(reqs ...*AsyncRequest) {
 		e.rearmStalled()
 		budget *= 2
 	}
+}
+
+// lostPeerDev returns the lowest currently-lost device among the
+// stalled queue heads' peers, or -1.
+func (e *AsyncEngine) lostPeerDev() int {
+	if e.ip.mem == nil {
+		return -1
+	}
+	s := e.r.Session()
+	lost := -1
+	for _, peer := range asyncSortedPeers(e.sendQ) {
+		if d := s.PlaceOf(peer).Dev; e.ip.mem.Lost(d) && (lost < 0 || d < lost) {
+			lost = d
+		}
+	}
+	for _, peer := range asyncSortedPeers(e.recvQ) {
+		if d := s.PlaceOf(peer).Dev; e.ip.mem.Lost(d) && (lost < 0 || d < lost) {
+			lost = d
+		}
+	}
+	return lost
 }
 
 // rearmStalled re-issues the newest vDMA command of every blocked send

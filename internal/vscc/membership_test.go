@@ -1,0 +1,185 @@
+package vscc
+
+import (
+	"testing"
+
+	"vscc/internal/fault"
+	"vscc/internal/rcce"
+	"vscc/internal/sim"
+)
+
+// TestMembershipLifecycle drives one scheduled device crash through the
+// full state machine and samples the membership state from kernel
+// callbacks: Up until the fault fires, Draining for DefaultDrainCycles
+// (wire still usable so committed traffic lands), Down with the epoch
+// advanced and the wire refused, and Up again after the down window.
+func TestMembershipLifecycle(t *testing.T) {
+	const (
+		crashAt = sim.Cycles(100_000)
+		down    = sim.Cycles(300_000)
+	)
+	k := sim.NewKernel()
+	sys, err := NewSystem(k, Config{
+		Devices: 2,
+		Scheme:  SchemeCachedGet,
+		Faults: &fault.Config{
+			Seed:       1,
+			DevCrashAt: []fault.DeviceFault{{At: crashAt, Dev: 1, Down: down}},
+			Recovery:   fault.Recovery{DeviceRetry: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Membership
+	if m == nil {
+		t.Fatal("device fault scheduled but no membership manager built")
+	}
+
+	type sample struct {
+		at     sim.Cycles
+		state  DevState
+		epoch  uint8
+		usable bool
+	}
+	var got []sample
+	probe := func(at sim.Cycles) {
+		k.At(at, func() {
+			got = append(got, sample{at, m.State(1), m.Epoch(1), m.Usable(1)})
+		})
+	}
+	drainMid := crashAt + fault.DefaultDrainCycles/2
+	downStart := crashAt + fault.DefaultDrainCycles
+	rejoinAt := downStart + down
+	probe(crashAt - 1)     // still up
+	probe(drainMid)        // draining, wire usable
+	probe(downStart + 1)   // down, epoch advanced, wire refused
+	probe(rejoinAt - 1)    // still down
+	probe(rejoinAt + 1)    // back up
+	probe(rejoinAt + 1000) // stays up
+
+	// A long-enough workload keeps ranks alive across the whole outage.
+	session, err := sys.NewSessionAt([]rcce.Place{{Dev: 0, Core: 0}, {Dev: 1, Core: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = session.Run(func(r *rcce.Rank) {
+		buf := make([]byte, 4096)
+		for rep := 0; rep < 16; rep++ {
+			if r.ID() == 0 {
+				if err := r.Send(1, buf); err != nil {
+					panic(err)
+				}
+				if err := r.Recv(1, buf); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := r.Recv(0, buf); err != nil {
+					panic(err)
+				}
+				if err := r.Send(0, buf); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run did not survive the crash: %v", err)
+	}
+
+	want := []sample{
+		{crashAt - 1, DevUp, 0, true},
+		{drainMid, DevDraining, 0, true},
+		{downStart + 1, DevDown, 1, false},
+		{rejoinAt - 1, DevDown, 1, false},
+		{rejoinAt + 1, DevUp, 1, true},
+		{rejoinAt + 1000, DevUp, 1, true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sampled %d probes, want %d (run too short?)", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("probe %d at cycle %d: got {state=%v epoch=%d usable=%v}, want {state=%v epoch=%d usable=%v}",
+				i, w.at, got[i].state, got[i].epoch, got[i].usable, w.state, w.epoch, w.usable)
+		}
+	}
+
+	// Device 0 never faulted: untouched state, epoch zero.
+	if m.State(0) != DevUp || m.Epoch(0) != 0 {
+		t.Errorf("device 0 disturbed: state=%v epoch=%d", m.State(0), m.Epoch(0))
+	}
+	// The lifecycle leaves the ledger balanced: one injection, one rejoin.
+	if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+		t.Errorf("inject.devcrash = %d, want 1", got)
+	}
+	if got := sys.Injector.Stat("recover.rejoin"); got != 1 {
+		t.Errorf("recover.rejoin = %d, want 1", got)
+	}
+}
+
+// TestMembershipVoidOverlap schedules a second fault inside the first
+// outage window: it must be void (the device is not up), retire from the
+// pending count so the run still terminates, and leave a single epoch
+// advance.
+func TestMembershipVoidOverlap(t *testing.T) {
+	k := sim.NewKernel()
+	sys, err := NewSystem(k, Config{
+		Devices: 2,
+		Scheme:  SchemeCachedGet,
+		Faults: &fault.Config{
+			Seed: 1,
+			DevCrashAt: []fault.DeviceFault{
+				{At: 100_000, Dev: 1, Down: 300_000},
+				{At: 200_000, Dev: 1, Down: 300_000}, // inside the first outage: void
+			},
+			Recovery: fault.Recovery{DeviceRetry: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := sys.NewSessionAt([]rcce.Place{{Dev: 0, Core: 0}, {Dev: 1, Core: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = session.Run(func(r *rcce.Rank) {
+		buf := make([]byte, 4096)
+		for rep := 0; rep < 16; rep++ {
+			if r.ID() == 0 {
+				if err := r.Send(1, buf); err != nil {
+					panic(err)
+				}
+			} else if err := r.Recv(0, buf); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+		t.Errorf("inject.devcrash = %d, want 1 (the overlapping fault must be void)", got)
+	}
+	if ep := sys.Membership.Epoch(1); ep != 1 {
+		t.Errorf("epoch = %d, want 1", ep)
+	}
+}
+
+// TestMembershipNotBuiltWithoutDeviceFaults pins the arming condition:
+// a fault config without device faults must leave Membership nil, so
+// every non-device-fault run keeps its byte-identical code paths.
+func TestMembershipNotBuiltWithoutDeviceFaults(t *testing.T) {
+	k := sim.NewKernel()
+	sys, err := NewSystem(k, Config{
+		Devices: 2,
+		Scheme:  SchemeCachedGet,
+		Faults:  &fault.Config{Seed: 1, DropPer10k: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Membership != nil {
+		t.Error("membership manager built without any device fault scheduled")
+	}
+}

@@ -51,6 +51,9 @@ type interDeviceProtocol struct {
 	// faults means waits run unbudgeted on the exact same code path.
 	faults *fault.Injector
 	rec    fault.Recovery
+	// mem is the device membership manager; nil unless the fault
+	// schedule contains device crash/link-down faults.
+	mem *Membership
 }
 
 // waitLadder runs one engaged wait under the recovery ladder: each
@@ -58,12 +61,25 @@ type interDeviceProtocol struct {
 // action (if any) re-issues the operation whose effect the wait is for.
 // Exhausting the ladder panics the rank with a deterministic error
 // (surfaced by Kernel.Run), never a silent deadlock.
-func (ip *interDeviceProtocol) waitLadder(r *rcce.Rank, site string, wait func(sim.Cycles) bool, rearm func()) {
+//
+// peer is the rank on the far side of the wait. When a membership
+// manager is armed and the peer's device went down (or restarted into a
+// new epoch) mid-wait, the failure is a device loss, not a lost flag
+// write: with transparent retry (devretry=1) the ladder parks until the
+// device rejoins — the journal replay then completes the handshake
+// byte-identically — and without it the rank fails deterministically
+// with rcce.ErrDeviceLost.
+func (ip *interDeviceProtocol) waitLadder(r *rcce.Rank, site string, peer int, wait func(sim.Cycles) bool, rearm func()) {
 	if ip.faults == nil {
 		wait(0)
 		return
 	}
 	dev := r.Session().PlaceOf(r.ID()).Dev
+	peerDev := r.Session().PlaceOf(peer).Dev
+	var epoch0 uint8
+	if ip.mem != nil {
+		epoch0 = ip.mem.Epoch(peerDev)
+	}
 	budget := ip.rec.WaitBudget
 	for a := 0; ; a++ {
 		if wait(budget) {
@@ -71,6 +87,20 @@ func (ip *interDeviceProtocol) waitLadder(r *rcce.Rank, site string, wait func(s
 				ip.faults.RecordRecovery("wait-ok", site, -1)
 			}
 			return
+		}
+		if ip.mem != nil && (ip.mem.Lost(peerDev) || ip.mem.Epoch(peerDev) != epoch0) {
+			if !ip.rec.DeviceRetry {
+				panic(fmt.Errorf("vscc: %s: rank %d: device %d lost at cycle %d: %w",
+					site, r.ID(), peerDev, r.Now(), rcce.ErrDeviceLost))
+			}
+			ip.faults.RecordRecovery("device-wait", site, peerDev)
+			ip.mem.AwaitUp(r.Ctx().Proc, peerDev)
+			epoch0 = ip.mem.Epoch(peerDev)
+			if rearm != nil {
+				rearm()
+			}
+			a-- // a device outage consumes no ladder attempt
+			continue
 		}
 		if a >= ip.rec.MaxWaitRetries {
 			panic(fmt.Sprintf("vscc: %s: rank %d lost completion after %d retries at cycle %d", site, r.ID(), a, r.Now()))
@@ -83,20 +113,37 @@ func (ip *interDeviceProtocol) waitLadder(r *rcce.Rank, site string, wait func(s
 	}
 }
 
+// LostPeer reports a deterministic device-loss error for a stalled
+// non-blocking engine (the ircce.Engine consults it before sleeping).
+// With transparent retry the engine just keeps sleeping: the rejoin
+// replay lands the missing flags and wakes it.
+func (ip *interDeviceProtocol) LostPeer(r *rcce.Rank, peer int) error {
+	if ip.mem == nil || ip.rec.DeviceRetry {
+		return nil
+	}
+	peerDev := r.Session().PlaceOf(peer).Dev
+	if peerDev != r.Session().PlaceOf(r.ID()).Dev && ip.mem.Lost(peerDev) {
+		return fmt.Errorf("vscc: rank %d: device %d lost at cycle %d: %w",
+			r.ID(), peerDev, r.Now(), rcce.ErrDeviceLost)
+	}
+	return nil
+}
+
 // awaitReady and awaitSent are the clear-based handshake waits under the
 // ladder. Their flag writes recover at the host (write-verify) and on
 // the fabric (replay), so they carry no rearm action of their own.
 func (ip *interDeviceProtocol) awaitReady(r *rcce.Rank, dest int, rearm func()) {
-	ip.waitLadder(r, "vscc.ready", func(b sim.Cycles) bool { return r.AwaitReadyFor(dest, b) }, rearm)
+	ip.waitLadder(r, "vscc.ready", dest, func(b sim.Cycles) bool { return r.AwaitReadyFor(dest, b) }, rearm)
 }
 
 func (ip *interDeviceProtocol) awaitSent(r *rcce.Rank, src int, rearm func()) {
-	ip.waitLadder(r, "vscc.sent", func(b sim.Cycles) bool { return r.AwaitSentFor(src, b) }, rearm)
+	ip.waitLadder(r, "vscc.sent", src, func(b sim.Cycles) bool { return r.AwaitSentFor(src, b) }, rearm)
 }
 
-// waitFlag is a value-encoded flag wait under the ladder.
-func (ip *interDeviceProtocol) waitFlag(r *rcce.Rank, site string, tile, off int, pred func(byte) bool, rearm func()) {
-	ip.waitLadder(r, site, func(b sim.Cycles) bool {
+// waitFlag is a value-encoded flag wait under the ladder; peer is the
+// rank on the far side of the transfer.
+func (ip *interDeviceProtocol) waitFlag(r *rcce.Rank, site string, peer, tile, off int, pred func(byte) bool, rearm func()) {
+	ip.waitLadder(r, site, peer, func(b sim.Cycles) bool {
 		_, ok := r.Ctx().WaitFlagFor(tile, off, pred, b)
 		return ok
 	}, rearm)
@@ -161,24 +208,38 @@ func (ip *interDeviceProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 			sink.Add("vscc.engaged_sends", 1)
 		}
 	}
+	// Promotion hysteresis: a transfer that completes without any
+	// recovery on either endpoint device counts toward re-promoting a
+	// degraded device (fault.Injector.CleanTransfer).
+	var myDev, peerDev int
+	var recBase int
+	if ip.faults != nil {
+		myDev = r.Session().PlaceOf(r.ID()).Dev
+		peerDev = r.Session().PlaceOf(dest).Dev
+		recBase = ip.faults.RecoveryCount(myDev) + ip.faults.RecoveryCount(peerDev)
+	}
 	if ip.threshold > 0 && len(data) <= ip.threshold {
 		ip.directSend(r, dest, data)
-		return
+	} else {
+		switch ip.scheme {
+		case SchemeRouting:
+			// The default RCCE protocol over the (slow) transparent path.
+			rcce.DefaultProtocol{}.Send(r, dest, data)
+		case SchemeHostRouted, SchemeHWAccel, SchemeRemotePut:
+			// Remote put; under SchemeHostRouted every line write stalls for
+			// a host round trip (the lower black curve of Fig. 6b), under
+			// SchemeHWAccel the FPGA acks it (upper curve), and under
+			// SchemeRemotePut the host write-combining buffer absorbs it.
+			ip.remotePutSend(r, dest, data)
+		case SchemeCachedGet:
+			ip.cachedSend(r, dest, data)
+		case SchemeVDMA:
+			ip.vdmaSend(r, dest, data)
+		}
 	}
-	switch ip.scheme {
-	case SchemeRouting:
-		// The default RCCE protocol over the (slow) transparent path.
-		rcce.DefaultProtocol{}.Send(r, dest, data)
-	case SchemeHostRouted, SchemeHWAccel, SchemeRemotePut:
-		// Remote put; under SchemeHostRouted every line write stalls for
-		// a host round trip (the lower black curve of Fig. 6b), under
-		// SchemeHWAccel the FPGA acks it (upper curve), and under
-		// SchemeRemotePut the host write-combining buffer absorbs it.
-		ip.remotePutSend(r, dest, data)
-	case SchemeCachedGet:
-		ip.cachedSend(r, dest, data)
-	case SchemeVDMA:
-		ip.vdmaSend(r, dest, data)
+	if ip.faults != nil && ip.faults.RecoveryCount(myDev)+ip.faults.RecoveryCount(peerDev) == recBase {
+		ip.faults.CleanTransfer(myDev)
+		ip.faults.CleanTransfer(peerDev)
 	}
 }
 
@@ -298,7 +359,7 @@ func (ip *interDeviceProtocol) vdmaDirectSend(r *rcce.Rank, dest int, data []byt
 	seq := st.out
 	grantOff := myBase + rcce.FlagByteAt(rcce.FlagGrant, dest)
 	glo, ghi := seqVal(seq), seqVal(seq+1)
-	ip.waitFlag(r, "vscc.vdma.grant", myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, nil)
+	ip.waitFlag(r, "vscc.vdma.grant", dest, myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, nil)
 	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
 	ctx.CopyPrivate(len(data))
 	ctx.WriteMPB(dstDev, dstTile, dstBase+slot, data)
@@ -308,7 +369,7 @@ func (ip *interDeviceProtocol) vdmaDirectSend(r *rcce.Rank, dest int, data []byt
 	ctx.FlushWCB()
 	readyOff := myBase + rcce.FlagByteAt(rcce.FlagReady, dest)
 	final := seqVal(seq)
-	ip.waitFlag(r, "vscc.vdma.ready", myTile, readyOff, func(b byte) bool { return b == final }, nil)
+	ip.waitFlag(r, "vscc.vdma.ready", dest, myTile, readyOff, func(b byte) bool { return b == final }, nil)
 }
 
 func (ip *interDeviceProtocol) vdmaDirectRecv(r *rcce.Rank, src int, buf []byte) {
@@ -322,7 +383,7 @@ func (ip *interDeviceProtocol) vdmaDirectRecv(r *rcce.Rank, src int, buf []byte)
 	ctx.FlushWCB()
 	sentOff := myBase + rcce.FlagByteAt(rcce.FlagSent, src)
 	lo, hi := seqVal(seq), seqVal(seq+1)
-	ip.waitFlag(r, "vscc.vdma.sent", myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
+	ip.waitFlag(r, "vscc.vdma.sent", src, myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
 	slot := int((seq - 1) % 2 * uint64(ip.slotBytes()))
 	ctx.InvalidateMPB()
 	ctx.ReadMPB(myDev, myTile, myBase+slot, buf)
@@ -544,7 +605,7 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 		// receiver is one chunk behind) or seq+1 (it caught up).
 		glo, ghi := seqVal(seq), seqVal(seq+1)
 		t0 := r.Now()
-		ip.waitFlag(r, "vscc.vdma.grant", myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, rearm)
+		ip.waitFlag(r, "vscc.vdma.grant", dest, myTile, grantOff, func(b byte) bool { return b == glo || b == ghi }, rearm)
 		tl.Record("sender", "waitgrant", t0, r.Now())
 		slot := int((seq - 1) % 2 * uint64(slotSize))
 		if direct {
@@ -563,7 +624,7 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 			// seq-2 out of this MPB slot.
 			clo, chi := seqVal(seq-2), seqVal(seq-1)
 			t0 = r.Now()
-			ip.waitFlag(r, "vscc.vdma.dmac", myTile, dmacOff, func(b byte) bool { return b == clo || b == chi }, rearm)
+			ip.waitFlag(r, "vscc.vdma.dmac", dest, myTile, dmacOff, func(b byte) bool { return b == clo || b == chi }, rearm)
 			tl.Record("sender", "waitdma", t0, r.Now())
 		}
 		t0 = r.Now()
@@ -590,7 +651,7 @@ func (ip *interDeviceProtocol) vdmaSend(r *rcce.Rank, dest int, data []byte) {
 	// Blocking semantics: the receiver drained everything.
 	final := seqVal(lastSeq)
 	t0 := r.Now()
-	ip.waitFlag(r, "vscc.vdma.ready", myTile, readyOff, func(b byte) bool { return b == final }, rearm)
+	ip.waitFlag(r, "vscc.vdma.ready", dest, myTile, readyOff, func(b byte) bool { return b == final }, rearm)
 	tl.Record("sender", "waitack", t0, r.Now())
 }
 
@@ -620,7 +681,7 @@ func (ip *interDeviceProtocol) vdmaRecv(r *rcce.Rank, src int, buf []byte) {
 		ctx.FlushWCB()
 		lo, hi := seqVal(seq), seqVal(seq+1)
 		t0 := r.Now()
-		ip.waitFlag(r, "vscc.vdma.sent", myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
+		ip.waitFlag(r, "vscc.vdma.sent", src, myTile, sentOff, func(b byte) bool { return b == lo || b == hi }, nil)
 		tl.Record("receiver", "waitdata", t0, r.Now())
 		slot := int((seq - 1) % 2 * uint64(slotSize))
 		t0 = r.Now()

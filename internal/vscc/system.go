@@ -175,6 +175,9 @@ type System struct {
 	Task   *host.Task
 	// Injector is the armed fault injector; nil when Config.Faults is nil.
 	Injector *fault.Injector
+	// Membership is the device-level membership manager; nil unless the
+	// fault schedule contains device crash or link-down faults.
+	Membership *Membership
 }
 
 // NewSystem assembles a vSCC.
@@ -234,6 +237,12 @@ func NewSystem(k *sim.Kernel, cfg Config) (*System, error) {
 			})
 		}
 		sys.Injector = inj
+		if cfg.Faults.DeviceFaultsArmed() {
+			// Device-level crash recovery: epochs, checkpoints and
+			// drain/replay failover (membership.go). Requires the framed
+			// fabric, so it only exists alongside the injector.
+			sys.Membership = newMembership(k, chips, fabric, task, inj)
+		}
 	}
 	return sys, nil
 }
@@ -245,6 +254,7 @@ func (s *System) Instrument(sink *trace.Sink) {
 	s.Fabric.Instrument(sink)
 	s.Task.Instrument(sink)
 	s.Injector.Instrument(sink)
+	s.Membership.Instrument(sink)
 }
 
 // TotalCores returns the number of available cores across all devices.
@@ -299,6 +309,7 @@ func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.S
 		published: make(map[int]int),
 		faults:    s.Injector,
 		rec:       s.Injector.Recovery(),
+		mem:       s.Membership,
 	}
 	opts = append([]rcce.Option{rcce.WithProtocol(proto)}, opts...)
 	session, err := rcce.NewSession(s.Kernel, s.Chips, places, opts...)
