@@ -36,9 +36,11 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Real kernel-throughput measurement (see BENCH_kernel.json).
+# Real kernel-throughput measurement (see BENCH_kernel.json), including
+# the PDES engine's cross-kernel rate and BT wall-clock.
 bench-kernel:
-	$(GO) test ./internal/sim -run='^$$' -bench=KernelEventThroughput -benchmem
+	$(GO) test ./internal/sim -run='^$$' -bench='KernelEventThroughput|PDESThroughput' -benchmem
+	$(GO) test -run='^$$' -bench=PDESBT -benchtime=2x .
 	$(GO) run ./cmd/simbench
 
 # Fault-injection gate: injector unit tests, the fault matrix, the

@@ -182,6 +182,39 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPDESBT measures E13: wall-clock of one cross-device BT run
+// on the domain-decomposed engine (one kernel per device plus the host
+// kernel) at 1, 2 and 4 workers, against the classic single-kernel
+// engine on the same point. Output is byte-identical at every worker
+// count (TestPDESSerialParallelIdentity), so the only thing that moves
+// is ns/op; on a 1-CPU host the counts are roughly neutral and the
+// scaling shows on multi-core hosts. Recorded in BENCH_kernel.json
+// under "pdes".
+func BenchmarkPDESBT(b *testing.B) {
+	cfg := harness.BTSweepConfig{
+		Class: npb.ClassW, Iterations: 1, Scheme: vscc.SchemeVDMA, Devices: 2,
+	}
+	const ranks = 64
+	b.Run("classic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.BTRun(cfg, ranks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			harness.SetPDES(workers)
+			defer harness.SetPDES(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.BTRun(cfg, ranks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE7OnChipPeak tracks the 150 MB/s on-chip calibration point.
 func BenchmarkE7OnChipPeak(b *testing.B) {
 	var peak float64

@@ -4,12 +4,15 @@
 // can surface performance drift; the workflow runs it as a non-blocking
 // warning step because shared runners are noisy.
 //
-// It knows the two baselined benchmarks:
+// It knows the baselined benchmarks:
 //
 //   - BenchmarkKernelEventThroughput/<case> against
 //     kernel_event_throughput.fastpath[<case>].ns_per_event
 //   - BenchmarkSweepParallel/<sweep>/parallel-<N> against
 //     sweep_parallel_wall_clock[<sweep>]["parallel-<N>"]
+//   - BenchmarkPDESThroughput/workers-<N> against
+//     pdes.throughput["workers-<N>"]
+//   - BenchmarkPDESBT/<case> against pdes.bt_wall_clock[<case>]
 //
 // Usage:
 //
@@ -38,6 +41,9 @@ type baseline struct {
 	// The sweep section mixes float maps with descriptive strings, so
 	// entries are decoded individually and non-maps skipped.
 	SweepParallelWallClock map[string]json.RawMessage `json:"sweep_parallel_wall_clock"`
+	// The pdes section has the same mixed shape; its two float maps map
+	// onto BenchmarkPDESThroughput and BenchmarkPDESBT cases.
+	PDES map[string]json.RawMessage `json:"pdes"`
 }
 
 // result is one parsed benchmark line.
@@ -146,6 +152,23 @@ func loadBaseline(path string) (map[string]float64, error) {
 		}
 		for par, ns := range m {
 			want["SweepParallel/"+sweep+"/"+par] = ns
+		}
+	}
+	pdesPrefix := map[string]string{
+		"throughput":    "PDESThroughput/",
+		"bt_wall_clock": "PDESBT/",
+	}
+	for section, rawEntry := range base.PDES {
+		prefix, ok := pdesPrefix[section]
+		if !ok {
+			continue // "benchmark", "units", "note" strings
+		}
+		var m map[string]float64
+		if json.Unmarshal(rawEntry, &m) != nil {
+			continue
+		}
+		for c, ns := range m {
+			want[prefix+c] = ns
 		}
 	}
 	return want, nil

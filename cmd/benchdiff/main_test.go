@@ -18,6 +18,11 @@ const testBaseline = `{
   "sweep_parallel_wall_clock": {
     "benchmark": "BenchmarkSweepParallel",
     "fig6a": {"parallel-1": 1000.0, "parallel-8": 300.0}
+  },
+  "pdes": {
+    "benchmark": "BenchmarkPDESThroughput and BenchmarkPDESBT",
+    "throughput": {"workers-1": 5000.0, "workers-4": 6000.0},
+    "bt_wall_clock": {"classic": 400000.0, "workers-4": 540000.0}
   }
 }`
 
@@ -86,6 +91,20 @@ BenchmarkKernelEventThroughput/deep-queue-1024   1000	 190.0 ns/op
 	}
 	if !strings.Contains(out, "deep-queue-1024") {
 		t.Errorf("case not compared:\n%s", out)
+	}
+}
+
+func TestRunComparesPDESSection(t *testing.T) {
+	code, out, _ := runDiff(t, `
+BenchmarkPDESThroughput/workers-1      	  200000	      5100.0 ns/op	   7000000 events/s
+BenchmarkPDESBT/classic      	       2	 410000.0 ns/op
+BenchmarkPDESBT/workers-4-8  	       2	 550000.0 ns/op
+`)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "all 3 compared case(s) within 20%") {
+		t.Errorf("pdes cases not all compared:\n%s", out)
 	}
 }
 

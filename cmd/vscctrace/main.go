@@ -13,14 +13,23 @@
 // per-device recovery actions — the terminal-side summary of a
 // crash-recovery run (fault spec devcrash=.../devlinkdown=...).
 //
+// Several trace files — e.g. the per-kernel captures of a PDES run —
+// may be given together: their events are merged into one canonically
+// ordered stream (stable sort by cycle, then kernel id parsed from the
+// capture label's /k<N> component, then span sequence within each
+// file), so the analysis and the -merge export are deterministic
+// functions of the input set. -recovery sums the ledger across files.
+//
 // Usage:
 //
 //	vscctrace trace.json
 //	vscctrace -top 5 trace.json
 //	vscctrace -recovery trace.json
+//	vscctrace -merge merged.json k0.json k1.json khost.json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +48,7 @@ type event struct {
 	Tid  int    `json:"tid"`
 	Ts   uint64 `json:"ts"`
 	Dur  uint64 `json:"dur"`
+	S    string `json:"s"`
 	Name string `json:"name"`
 	Args struct {
 		Name  string `json:"name"`
@@ -48,6 +58,149 @@ type event struct {
 
 type document struct {
 	TraceEvents []event `json:"traceEvents"`
+}
+
+// kernelLabel extracts the kernel id from a capture label: /k<N>/ maps
+// to N, /khost to a sentinel sorting after every device kernel.
+var kernelLabel = regexp.MustCompile(`/k(\d+|host)(/|$)`)
+
+const hostKernel = 1 << 30
+
+// taggedEvent carries the canonical merge keys alongside one event:
+// the source file index, the kernel id of its process (from the
+// capture label) and its span sequence number (emission order within
+// its source file).
+type taggedEvent struct {
+	event
+	file   int
+	kernel int
+	seq    int
+}
+
+// loadMerged reads every file and returns one canonically ordered
+// event stream: a stable sort by cycle, then kernel id, then source
+// file, then per-file span sequence. Pids are remapped to be globally
+// unique, numbered by first appearance in the canonical order — so
+// analysing the merged stream (or a -merge output re-read later) is
+// idempotent, independent of how events were split across input files.
+func loadMerged(paths []string) []taggedEvent {
+	var merged []taggedEvent
+	for fi, path := range paths {
+		f, err := os.Open(path)
+		check(err)
+		var doc document
+		check(json.NewDecoder(f).Decode(&doc))
+		f.Close()
+		// The kernel id of each original pid comes from its
+		// process_name metadata record.
+		kern := map[int]int{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "M" && ev.Name == "process_name" {
+				if m := kernelLabel.FindStringSubmatch(ev.Args.Name); m != nil {
+					if m[1] == "host" {
+						kern[ev.Pid] = hostKernel
+					} else {
+						n, _ := strconv.Atoi(m[1])
+						kern[ev.Pid] = n
+					}
+				}
+			}
+		}
+		for i, ev := range doc.TraceEvents {
+			kid, ok := kern[ev.Pid]
+			if !ok {
+				// No kernel label (classic single-kernel capture):
+				// order by original pid, after labelled kernels of the
+				// same cycle for stability across mixed inputs.
+				kid = hostKernel + 1 + ev.Pid
+			}
+			merged = append(merged, taggedEvent{event: ev, file: fi, kernel: kid, seq: i})
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		if a.kernel != b.kernel {
+			return a.kernel < b.kernel
+		}
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.seq < b.seq
+	})
+	// Renumber pids by first appearance in canonical order.
+	type srcPid struct{ file, pid int }
+	remap := map[srcPid]int{}
+	for i := range merged {
+		key := srcPid{merged[i].file, merged[i].event.Pid}
+		np, ok := remap[key]
+		if !ok {
+			np = len(remap)
+			remap[key] = np
+		}
+		merged[i].event.Pid = np
+	}
+	return merged
+}
+
+// writeMerged exports the canonical stream in the exporter's own
+// Chrome trace-event dialect (chrome.go), so a merged file round-trips
+// through vscctrace and the browser tools alike.
+func writeMerged(path string, events []taggedEvent) {
+	f, err := os.Create(path)
+	check(err)
+	bw := bufio.NewWriter(f)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\n")
+	bw.WriteString("\"otherData\":{\"clock\":\"simulated core cycles (1 us = 1 cycle at 533 MHz)\"},\n")
+	bw.WriteString("\"traceEvents\":[\n")
+	for i, te := range events {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		ev := te.event
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}",
+					ev.Pid, quoteJSON(ev.Args.Name))
+			} else {
+				fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":%s,\"args\":{\"name\":%s}}",
+					ev.Pid, ev.Tid, quoteJSON(ev.Name), quoteJSON(ev.Args.Name))
+			}
+		case "X":
+			fmt.Fprintf(bw, "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%s}",
+				ev.Pid, ev.Tid, ev.Ts, ev.Dur, quoteJSON(ev.Name))
+		case "i":
+			fmt.Fprintf(bw, "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"name\":%s}",
+				ev.Pid, ev.Tid, ev.Ts, quoteJSON(ev.Name))
+		case "C":
+			fmt.Fprintf(bw, "{\"ph\":\"C\",\"pid\":%d,\"ts\":%d,\"name\":%s,\"args\":{\"value\":%d}}",
+				ev.Pid, ev.Ts, quoteJSON(ev.Name), ev.Args.Value)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	check(bw.Flush())
+	check(f.Close())
+}
+
+// quoteJSON mirrors the exporter's string quoting (trace/chrome.go).
+func quoteJSON(s string) string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			buf = append(buf, fmt.Sprintf("\\u%04x", c)...)
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(append(buf, '"'))
 }
 
 // thread aggregates one tid's rows.
@@ -72,16 +225,16 @@ type process struct {
 func main() {
 	top := flag.Int("top", 10, "span names to list per process, by total duration")
 	recovery := flag.Bool("recovery", false, "print the per-device fault/recovery ledger instead of the span view")
+	mergeOut := flag.String("merge", "", "write the merged, canonically ordered trace to FILE")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] [-recovery] trace.json")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] [-recovery] [-merge out.json] trace.json [more.json ...]")
 		os.Exit(2)
 	}
-	f, err := os.Open(flag.Arg(0))
-	check(err)
-	defer f.Close()
-	var doc document
-	check(json.NewDecoder(f).Decode(&doc))
+	events := loadMerged(flag.Args())
+	if *mergeOut != "" {
+		writeMerged(*mergeOut, events)
+	}
 
 	procs := map[int]*process{}
 	get := func(pid int) *process {
@@ -104,7 +257,8 @@ func main() {
 		}
 		return t
 	}
-	for _, ev := range doc.TraceEvents {
+	for _, te := range events {
+		ev := te.event
 		p := get(ev.Pid)
 		switch ev.Ph {
 		case "M":
@@ -141,7 +295,11 @@ func main() {
 		printRecovery(procs, pids)
 		return
 	}
-	fmt.Printf("%s: %d events, %d processes\n", flag.Arg(0), len(doc.TraceEvents), len(pids))
+	source := flag.Arg(0)
+	if flag.NArg() > 1 {
+		source = fmt.Sprintf("%d files", flag.NArg())
+	}
+	fmt.Printf("%s: %d events, %d processes\n", source, len(events), len(pids))
 	for _, pid := range pids {
 		p := procs[pid]
 		fmt.Printf("\npid %d: %s\n", pid, p.name)

@@ -59,6 +59,9 @@ func BTRun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 2
 	}
+	if w := PDESWorkers(); w > 0 {
+		return btRunPDES(cfg, ranks, w)
+	}
 	k := sim.NewKernel()
 	sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme}))
 	if err != nil {
@@ -96,6 +99,9 @@ func LURun(cfg BTSweepConfig, ranks int) (BTPoint, error) {
 	}
 	if cfg.Iterations == 0 {
 		cfg.Iterations = 2
+	}
+	if w := PDESWorkers(); w > 0 {
+		return luRunPDES(cfg, ranks, w)
 	}
 	k := sim.NewKernel()
 	sys, err := vscc.NewSystem(k, sysConfig(vscc.Config{Devices: cfg.Devices, Scheme: cfg.Scheme}))

@@ -137,6 +137,32 @@ func (c BankCommand) validate(numDevs int) error {
 	return nil
 }
 
+// Validate is the exported form of validate: alternative host engines
+// (the PDES per-kernel host, internal/vscc) decode the same register
+// images and need the same backstop against corrupted commands.
+func (c BankCommand) Validate(numDevs int) error { return c.validate(numDevs) }
+
+// Banks is an exported register file for host engines living outside
+// this package. The classic single-kernel Task keeps its private
+// registerFile; the PDES host kernel holds one Banks per device so the
+// MMIO decode path is shared, not duplicated.
+type Banks struct {
+	rf *registerFile
+}
+
+// NewBanks returns an empty register window.
+func NewBanks() *Banks { return &Banks{rf: newRegisterFile()} }
+
+// Write merges a masked line write into core's bank and returns the
+// decoded command plus whether the control byte was armed (the write
+// that triggers execution).
+func (b *Banks) Write(core int, data []byte, mask uint32) (BankCommand, bool) {
+	return b.rf.write(core, data, mask)
+}
+
+// Read returns core's current bank image.
+func (b *Banks) Read(core int) [BankBytes]byte { return b.rf.read(core) }
+
 // registerFile holds the per-device, per-core banks of one host register
 // window.
 type registerFile struct {

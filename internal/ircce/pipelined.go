@@ -108,7 +108,7 @@ func (pp *PipelinedProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 		ctx.WriteMPB(myDev, myTile, myBase+slotOff, data[:n])
 		ctx.FlushWCB()
 		tl.Record("sender", "put", t0, r.Now())
-		sink := r.Session().Sink()
+		sink := r.Sink()
 		sink.Add("ircce.packets", 1)
 		sink.Observe("ircce.packet_bytes", float64(n))
 		// Publish the new packet count at the receiver.
@@ -164,7 +164,7 @@ func (pp *PipelinedProtocol) writeCounter(r *rcce.Rank, peer, kind int, v byte) 
 	ctx := r.Ctx()
 	ctx.WriteMPB(dev, tile, base+off, []byte{v})
 	ctx.FlushWCB()
-	r.Session().ReportFlagTraffic()
+	r.Session().ReportFlagTraffic(r.ID())
 }
 
 // String describes the protocol configuration.

@@ -11,15 +11,26 @@ import (
 // simulated time and every interleaving decision flows through the
 // deterministic kernel in internal/sim: a single time.Now, goroutine or
 // channel in a model package breaks byte-identical parallel sweeps.
+// Importing package time at all is a finding in a model package — even
+// time.Time/Duration as plain data invites wall-clock coupling, and no
+// model code needs it.
+//
+// internal/sim itself — the sanctioned channel — is audited in a
+// relaxed mode: the PDES engine legitimately runs worker goroutines
+// with sync and channels, but the wall clock and math/rand stay
+// forbidden there too, so sub-kernel code cannot smuggle real time in
+// through the engine.
 //
 // Test files are exempt — tests may legitimately use wall-clock
 // timeouts and goroutines to drive the simulator from outside.
 func KernelClockAnalyzer() *Analyzer {
 	return &Analyzer{
-		Name:    "kernelclock",
-		Doc:     "model packages must take time and concurrency from internal/sim only",
-		Applies: func(p string) bool { return pkgPathIn(p, modelPackages...) },
-		Run:     runKernelClock,
+		Name: "kernelclock",
+		Doc:  "model packages take time and concurrency from internal/sim only; the engine itself never takes the wall clock",
+		Applies: func(p string) bool {
+			return pkgPathIn(p, modelPackages...) || pkgPathIn(p, enginePackages...)
+		},
+		Run: runKernelClock,
 	}
 }
 
@@ -33,6 +44,7 @@ var forbiddenTimeFuncs = map[string]bool{
 }
 
 func runKernelClock(pass *Pass) {
+	engine := pkgPathIn(pass.Pkg.Path, enginePackages...)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
@@ -40,28 +52,44 @@ func runKernelClock(pass *Pass) {
 		imports := importTable(f)
 		for _, imp := range f.Imports {
 			switch path := importPathOf(imp); path {
+			case "time":
+				if engine {
+					pass.Reportf(imp.Pos(), "import of time in the simulation engine: the kernel IS the clock; worker coordination may use sync and channels, but simulated time advances only through the event queue")
+				} else {
+					pass.Reportf(imp.Pos(), "import of time in a model package: even time.Time/Duration data invites wall-clock coupling; simulated time is sim.Cycles on the kernel clock")
+				}
 			case "math/rand", "math/rand/v2":
-				pass.Reportf(imp.Pos(), "import of %s in a model package: unseeded process-global randomness breaks deterministic replay; derive randomness from an explicitly seeded source threaded through the harness", path)
+				pass.Reportf(imp.Pos(), "import of %s: unseeded process-global randomness breaks deterministic replay; derive randomness from an explicitly seeded source threaded through the harness", path)
 			case "sync", "sync/atomic":
-				pass.Reportf(imp.Pos(), "import of %s in a model package: synchronization must use internal/sim primitives (Cond, Queue, Gate), which keep the event order deterministic", path)
+				if !engine {
+					pass.Reportf(imp.Pos(), "import of %s in a model package: synchronization must use internal/sim primitives (Cond, Queue, Gate), which keep the event order deterministic", path)
+				}
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				if id, ok := n.X.(*ast.Ident); ok && imports[id.Name] == "time" && forbiddenTimeFuncs[n.Sel.Name] {
-					pass.Reportf(n.Pos(), "time.%s in a model package: simulated time is the kernel clock (sim.Proc.Delay / Kernel.Now), never the wall clock", n.Sel.Name)
+					pass.Reportf(n.Pos(), "time.%s: simulated time is the kernel clock (sim.Proc.Delay / Kernel.Now), never the wall clock", n.Sel.Name)
 				}
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), "raw goroutine in a model package: spawn simulated processes with sim.Kernel.Spawn/SpawnDaemon so the kernel serializes execution deterministically")
+				if !engine {
+					pass.Reportf(n.Pos(), "raw goroutine in a model package: spawn simulated processes with sim.Kernel.Spawn/SpawnDaemon so the kernel serializes execution deterministically")
+				}
 			case *ast.ChanType:
-				pass.Reportf(n.Pos(), "channel type in a model package: cross-process signalling must use sim.Cond/sim.Queue, which wake processes in deterministic event order")
+				if !engine {
+					pass.Reportf(n.Pos(), "channel type in a model package: cross-process signalling must use sim.Cond/sim.Queue, which wake processes in deterministic event order")
+				}
 			case *ast.SelectStmt:
-				pass.Reportf(n.Pos(), "select statement in a model package: nondeterministic case choice; block on sim primitives instead")
+				if !engine {
+					pass.Reportf(n.Pos(), "select statement in a model package: nondeterministic case choice; block on sim primitives instead")
+				}
 			case *ast.SendStmt:
-				pass.Reportf(n.Pos(), "channel send in a model package: use sim.Queue.Push / sim.Cond.Broadcast")
+				if !engine {
+					pass.Reportf(n.Pos(), "channel send in a model package: use sim.Queue.Push / sim.Cond.Broadcast")
+				}
 			case *ast.UnaryExpr:
-				if n.Op == token.ARROW {
+				if n.Op == token.ARROW && !engine {
 					pass.Reportf(n.Pos(), "channel receive in a model package: use sim.Queue.Pop / sim.Cond.Wait")
 				}
 			}

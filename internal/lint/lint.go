@@ -239,7 +239,9 @@ func pkgPathIn(pkgPath string, suffixes ...string) bool {
 // per-package applicability:
 //
 //   - kernelclock audits the model packages, where all time and
-//     concurrency must flow through internal/sim,
+//     concurrency must flow through internal/sim, plus internal/sim
+//     itself in a relaxed mode (real concurrency sanctioned, wall
+//     clock still banned),
 //   - goryorder audits the gory-protocol packages plus the repository
 //     root (whose integration tests exercise raw protocols),
 //   - faultorder audits the inter-device protocol layers (vscc, ircce),
@@ -262,6 +264,11 @@ var modelPackages = []string{
 	"internal/noc", "internal/pcie", "internal/host", "internal/rcce",
 	"internal/ircce", "internal/vscc", "internal/scc", "internal/mem",
 }
+
+// enginePackages hold the sanctioned concurrency channel itself: the
+// event kernel and its PDES workers may use sync and channels, but the
+// wall clock and process-global randomness stay forbidden even there.
+var enginePackages = []string{"internal/sim"}
 
 // goryPackages are the packages holding gory-protocol call sites.
 var goryPackages = []string{"internal/rcce", "internal/ircce", "internal/vscc"}

@@ -17,6 +17,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		importPath string
 	}{
 		{KernelClockAnalyzer(), "kernelclock", "vscc/internal/noc"},
+		{KernelClockAnalyzer(), "kernelclock_engine", "vscc/internal/sim"},
 		{GoryOrderAnalyzer(), "goryorder", "vscc/internal/rcce"},
 		{FaultOrderAnalyzer(), "faultorder", "vscc/internal/vscc"},
 		{FlagDisciplineAnalyzer(), "flagdiscipline", "fixture/flagdiscipline"},

@@ -1,19 +1,20 @@
-// Fixture for the kernelclock rule: wall-clock time, process-global
-// randomness and raw Go concurrency are forbidden in model packages.
+// Fixture for the kernelclock rule in its strict mode: wall-clock
+// time, the time import itself, process-global randomness and raw Go
+// concurrency are forbidden in model packages.
 package kernelclock
 
 import (
-	"math/rand" // want "import of math/rand in a model package"
+	"math/rand" // want "import of math/rand"
 	"sync"      // want "import of sync in a model package"
-	"time"
+	"time"      // want "import of time in a model package"
 )
 
 var mu sync.Mutex
 
 func wallClock() {
-	_ = time.Now()     // want "time.Now in a model package"
-	time.Sleep(1)      // want "time.Sleep in a model package"
-	_ = time.After(1)  // want "time.After in a model package"
+	_ = time.Now()     // want "time.Now"
+	time.Sleep(1)      // want "time.Sleep"
+	_ = time.After(1)  // want "time.After"
 	_ = rand.Intn(100) // ok: the import line already carries the finding
 	mu.Lock()          // ok: likewise
 }

@@ -1,6 +1,9 @@
 package rcce
 
-import "vscc/internal/sim"
+import (
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+)
 
 // This file exports the low-level handshake primitives that alternative
 // wire protocols build on: the pipelined protocol of package ircce and
@@ -132,6 +135,13 @@ func ScratchByteAt(i int) int {
 func (s *Session) ReportTraffic(src, dest, bytes int) { s.reportTraffic(src, dest, bytes) }
 
 // ReportFlagTraffic lets protocol extensions attribute a flag-byte store
-// to the observability sink's data-vs-flag traffic split (used when a
-// protocol writes flag bytes through the gory interface directly).
-func (s *Session) ReportFlagTraffic() { s.reportFlagWrite() }
+// by rank src to the observability sink's data-vs-flag traffic split
+// (used when a protocol writes flag bytes through the gory interface
+// directly).
+func (s *Session) ReportFlagTraffic(src int) { s.reportFlagWrite(s.places[src].Dev) }
+
+// Sink returns the sink rank r records into: its device's sink when
+// per-device sinks are attached (the PDES configuration), the session
+// sink otherwise. Protocol extensions must prefer this over
+// Session.Sink so their counters stay kernel-local.
+func (r *Rank) Sink() *trace.Sink { return r.s.sinkFor(r.place(r.id).Dev) }

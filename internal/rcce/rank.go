@@ -131,7 +131,7 @@ func (r *Rank) writeFlag(dest, off int, v byte) {
 	dev, tile, base := r.mpb(dest)
 	r.ctx.WriteMPB(dev, tile, base+off, []byte{v})
 	r.ctx.FlushWCB()
-	r.s.reportFlagWrite()
+	r.s.reportFlagWrite(r.place(r.id).Dev)
 }
 
 // waitClearFlag spins until the local flag at off is non-zero, then
@@ -147,7 +147,7 @@ func (r *Rank) waitClearFlagFor(off int, budget sim.Cycles) bool {
 	}
 	r.ctx.WriteMPB(r.place(r.id).Dev, tile, base+off, []byte{0})
 	r.ctx.FlushWCB()
-	r.s.reportFlagWrite()
+	r.s.reportFlagWrite(r.place(r.id).Dev)
 	return true
 }
 

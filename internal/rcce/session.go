@@ -63,13 +63,33 @@ type Session struct {
 	timeline *sim.Timeline
 	sink     *trace.Sink
 
+	// devSinks, when set, routes each rank's observability to its own
+	// device's sink (indexed by device). Under PDES every device is a
+	// separate kernel, and trace.Sink is deliberately not
+	// concurrency-safe — per-device sinks keep all recording
+	// kernel-local. Devices beyond the slice (or nil entries) fall back
+	// to the session sink.
+	devSinks []*trace.Sink
+
+	// runner, when set, replaces Kernel.Run as the engine that drives
+	// the session (the PDES barrier-window engine plugs in here). The
+	// NPB harness path — session.Run(program) — stays identical either
+	// way.
+	runner func() error
+
 	// onTraffic, if set, observes every completed point-to-point message
-	// (used to build the paper's Fig. 8 traffic matrix).
+	// (used to build the paper's Fig. 8 traffic matrix). The callback
+	// runs on the reporting rank's kernel: under PDES that means
+	// concurrently from several kernels, so PDES sessions must not
+	// attach one.
 	onTraffic func(src, dest, bytes int)
 
 	// barrier state: a generation counter per rank pair of flag slots.
 	barrierGen []byte
 
+	// errs holds one slot per rank (single-writer per rank, so rank
+	// panics on different kernels never race); Run reports the
+	// lowest-rank error.
 	errs []error
 }
 
@@ -92,6 +112,18 @@ func WithTrafficObserver(fn func(src, dest, bytes int)) Option {
 // message-size histogram and the data-versus-flag traffic split, and
 // protocol extensions (ircce, vscc) pick the sink up through Sink().
 func WithSink(sink *trace.Sink) Option { return func(s *Session) { s.sink = sink } }
+
+// WithDeviceSinks attaches one sink per device so every rank records
+// into a sink owned by its own kernel (required under PDES, where a
+// shared sink would race).
+func WithDeviceSinks(sinks []*trace.Sink) Option {
+	return func(s *Session) { s.devSinks = sinks }
+}
+
+// WithRunner replaces the engine that drives Run. The default is the
+// session kernel's own Run loop; the vSCC PDES mode substitutes the
+// barrier-window engine so NPB programs run unchanged on either.
+func WithRunner(run func() error) Option { return func(s *Session) { s.runner = run } }
 
 // NewSession creates a session over explicit placements. chips must be
 // indexed by device number and cover every Place.Dev.
@@ -123,6 +155,7 @@ func NewSession(k *sim.Kernel, chips []*scc.Chip, places []Place, opts ...Option
 		chips:      chips,
 		places:     places,
 		barrierGen: make([]byte, len(places)),
+		errs:       make([]error, len(places)),
 	}
 	for _, o := range opts {
 		o(s)
@@ -203,9 +236,9 @@ func (s *Session) Launch(rank int, program func(*Rank)) {
 				if err, ok := rec.(error); ok {
 					// Preserve error identity (errors.Is on
 					// ErrDeviceLost and friends) through the panic.
-					s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %w", rank, err))
+					s.errs[rank] = fmt.Errorf("rcce: rank %d panicked: %w", rank, err)
 				} else {
-					s.errs = append(s.errs, fmt.Errorf("rcce: rank %d panicked: %v", rank, rec))
+					s.errs[rank] = fmt.Errorf("rcce: rank %d panicked: %v", rank, rec)
 				}
 			}
 		}()
@@ -220,28 +253,47 @@ func (s *Session) Run(program func(*Rank)) error {
 	for rank := range s.places {
 		s.Launch(rank, program)
 	}
-	if err := s.Kernel.Run(); err != nil {
-		return err
+	drive := s.runner
+	if drive == nil {
+		drive = s.Kernel.Run
 	}
-	if len(s.errs) > 0 {
-		return s.errs[0]
+	driveErr := drive()
+	// Rank errors outrank engine errors: a rank that panicked out of a
+	// handshake routinely strands its peer, and the resulting deadlock
+	// report would mask the root cause.
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
 	}
-	return nil
+	return driveErr
 }
 
-// reportTraffic notifies the traffic observer of one delivered message.
+// sinkFor returns the sink a given device's ranks record into: the
+// per-device sink when one is attached, the session sink otherwise.
+func (s *Session) sinkFor(dev int) *trace.Sink {
+	if dev >= 0 && dev < len(s.devSinks) && s.devSinks[dev] != nil {
+		return s.devSinks[dev]
+	}
+	return s.sink
+}
+
+// reportTraffic notifies the traffic observer of one delivered message,
+// attributing the counters to the sending rank's device sink.
 func (s *Session) reportTraffic(src, dest, bytes int) {
 	if s.onTraffic != nil {
 		s.onTraffic(src, dest, bytes)
 	}
-	s.sink.Add("rcce.msgs", 1)
-	s.sink.Add("rcce.data_bytes", int64(bytes))
-	s.sink.Observe("rcce.msg_size", float64(bytes))
+	sink := s.sinkFor(s.places[src].Dev)
+	sink.Add("rcce.msgs", 1)
+	sink.Add("rcce.data_bytes", int64(bytes))
+	sink.Observe("rcce.msg_size", float64(bytes))
 }
 
-// reportFlagWrite attributes one flag-byte store to the sink — the
-// "flag traffic" side of the data-vs-flag split.
-func (s *Session) reportFlagWrite() {
-	s.sink.Add("rcce.flag_writes", 1)
-	s.sink.Add("rcce.flag_bytes", 1)
+// reportFlagWrite attributes one flag-byte store by a rank on dev to
+// the sink — the "flag traffic" side of the data-vs-flag split.
+func (s *Session) reportFlagWrite(dev int) {
+	sink := s.sinkFor(dev)
+	sink.Add("rcce.flag_writes", 1)
+	sink.Add("rcce.flag_bytes", 1)
 }

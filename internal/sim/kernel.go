@@ -165,11 +165,28 @@ type Kernel struct {
 	// and pop. nil until first used.
 	cancelled  map[uint64]struct{}
 	nCancelled int
+
+	// yield is the single token-return channel: whichever goroutine
+	// holds the execution token (a process, or the run loop itself)
+	// hands it back here when it cannot pass it directly to the next
+	// runnable process (see yieldTo). One channel instead of waiting on
+	// the dispatched process's own channel is what makes direct
+	// process-to-process handoff possible: the run loop does not care
+	// *who* returns the token, only that exactly one holder exists.
+	yield chan struct{}
+
+	// running/bounded/limit mirror the active run loop's state so the
+	// same-cycle and delay fast paths (Proc.Delay, yieldTo) can decide
+	// inline whether an event may be dispatched without handing the
+	// token back to the run loop.
+	running bool
+	bounded bool
+	limit   Cycles
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{yield: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -374,6 +391,8 @@ func (k *Kernel) run(limit Cycles, bounded bool) error {
 	if bounded && limit < k.now {
 		return nil // the bucket may hold events at now > limit; keep them queued
 	}
+	k.running, k.bounded, k.limit = true, bounded, limit
+	defer func() { k.running = false }()
 	for {
 		var e event
 		if k.head < len(k.bucket) {
@@ -442,7 +461,7 @@ func (k *Kernel) dispatch(p *Proc) error {
 	default:
 		panic("sim: resuming a process in state " + p.state.String())
 	}
-	<-p.run
+	<-k.yield
 	if len(k.panics) > 0 {
 		return k.panics[0]
 	}
@@ -458,9 +477,35 @@ func (k *Kernel) runBody(p *Proc) {
 		if !p.daemon {
 			k.live--
 		}
-		p.run <- struct{}{}
+		// A finishing process always returns the token to the run loop —
+		// never a direct handoff — so panics surface immediately.
+		k.yield <- struct{}{}
 	}()
 	p.body(p)
+}
+
+// yieldTo releases the execution token held by the current process.
+// When the next due event is a same-cycle resume of another process, the
+// token is handed to that process directly, skipping the round trip
+// through the run loop (two channel operations and a goroutine wakeup).
+// The dispatch order is exactly what the run loop would have produced:
+// the bucket is popped in (time, seq) order either way. Everything else
+// — callbacks (which must run on the kernel goroutine), new processes,
+// stale wakeups, pending cancellations, Stop — bails out to the run
+// loop.
+func (k *Kernel) yieldTo() {
+	if !k.stopped && k.nCancelled == 0 && k.head < len(k.bucket) {
+		e := k.bucket[k.head]
+		if e.p != nil && e.p.state == procRunnable {
+			k.bucket[k.head] = event{} // release fn/p for the GC
+			k.head++
+			k.dispatched++
+			e.p.state = procRunning
+			e.p.run <- struct{}{}
+			return
+		}
+	}
+	k.yield <- struct{}{}
 }
 
 // deadlockError builds a report naming every still-blocked process.
@@ -482,11 +527,33 @@ func (k *Kernel) deadlockError() error {
 // zero yields to other work scheduled at the current instant.
 func (p *Proc) Delay(d Cycles) {
 	k := p.k
+	at := k.now + d
+	// Inline continuation fast path: when the process's own wakeup would
+	// be the very next event dispatched — no other same-cycle work is
+	// pending and nothing in the heap is due before at — the schedule,
+	// the two token handoffs and the goroutine round trip are all pure
+	// overhead. Bump the same counters the event would have consumed
+	// (seq for AfterCancel bookkeeping, dispatched for Events()) and
+	// keep running. The heap never holds events at the current time, so
+	// an empty bucket means nothing else can run before the wakeup.
+	if k.running && !k.stopped && k.head == len(k.bucket) && (!k.bounded || at <= k.limit) {
+		if d == 0 {
+			k.seq++
+			k.dispatched++
+			return
+		}
+		if len(k.queue) == 0 || at < k.queue[0].at {
+			k.seq++
+			k.dispatched++
+			k.now = at
+			return
+		}
+	}
 	p.state = procRunnable
 	p.blockReason = "delay"
-	k.schedule(k.now+d, p, nil)
-	p.run <- struct{}{} // hand the token back to the kernel
-	<-p.run             // wait for it again
+	k.schedule(at, p, nil)
+	k.yieldTo() // hand the token on
+	<-p.run     // wait for it again
 }
 
 // park blocks the process without scheduling a wakeup; something else must
@@ -494,9 +561,20 @@ func (p *Proc) Delay(d Cycles) {
 func (p *Proc) park(reason string) {
 	p.state = procBlocked
 	p.blockReason = reason
-	p.run <- struct{}{}
+	p.k.yieldTo()
 	<-p.run
 }
+
+// Park blocks the process without scheduling a wakeup; something else
+// must eventually call Unpark. reason appears in deadlock reports. The
+// exported form exists for engines outside the package (the PDES PCIe
+// ports) that block a requester until a response message lands.
+func (p *Proc) Park(reason string) { p.park(reason) }
+
+// Unpark schedules a parked process to resume at the current simulated
+// time. It must be called from kernel context on the process's own
+// kernel (another process's body or a callback).
+func (p *Proc) Unpark() { p.unpark() }
 
 // unpark schedules p to resume at the current simulated time. It must be
 // called from kernel context (another process's body or a callback).
@@ -506,4 +584,31 @@ func (p *Proc) unpark() {
 	}
 	p.state = procRunnable
 	p.k.schedule(p.k.now, p, nil)
+}
+
+// NextEventAt reports the timestamp of the earliest pending event, or
+// false if the queue is empty. A cancelled-but-undiscarded event may
+// make the reported time earlier than the first event that will really
+// dispatch; callers (the PDES window calculation) only need a lower
+// bound, which this is.
+func (k *Kernel) NextEventAt() (Cycles, bool) {
+	if k.head < len(k.bucket) {
+		return k.now, true
+	}
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
+// DeadlockError returns the blocked-process diagnostic Run would
+// produce, or nil if no live processes remain. Engines that coordinate
+// several kernels through bounded RunUntil windows (sim.PDES) call it
+// once global progress stops, since RunUntil itself never reports
+// deadlock.
+func (k *Kernel) DeadlockError() error {
+	if k.live == 0 {
+		return nil
+	}
+	return k.deadlockError()
 }

@@ -1,0 +1,873 @@
+package vscc
+
+// Conservative PDES decomposition of a vSCC (DESIGN.md §9): one
+// sim.Kernel per SCC device plus one kernel for the host/PCIe side,
+// coupled by sim.PDES barrier windows with lookahead equal to the PCIe
+// link latency. Each device's mesh, MPB state, L1/WCB models and rcce
+// ranks stay kernel-local; the only cross-kernel traffic is the PCIe
+// fabric boundary, re-implemented here as explicit request/response
+// messages over per-direction link models (pdesLink).
+//
+// The classic single-kernel engine (System) couples devices through
+// shared structures with zero-latency effects — host.Task delivery
+// invalidates the host caches and every device's SIF buffers at the
+// same instant, and scc.Checker is a cross-device oracle — so the PDES
+// engine cannot be cycle-identical to it. The determinism bar is
+// instead self-identity: a PDES run with W workers is byte-identical
+// (traces, ledgers, checkpoints) to the same PDES run with 1 worker,
+// for any W. That is the property the identity gates enforce.
+//
+// Fault support is deliberately narrow: device-crash faults
+// (DevCrashAt) with checkpoints and held-delivery replay, entirely
+// device-kernel-local. Packet-level faults, host stalls/crashes and
+// link-down faults need the framed single-kernel fabric and are
+// rejected up front.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"vscc/internal/ckpt"
+	"vscc/internal/fault"
+	"vscc/internal/host"
+	"vscc/internal/mem"
+	"vscc/internal/pcie"
+	"vscc/internal/rcce"
+	"vscc/internal/scc"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+)
+
+// Request/acknowledgement sizes on the wire (one line for a read
+// request, a header-sized ack).
+const (
+	pdesReqBytes = mem.LineSize
+	pdesAckBytes = 4
+)
+
+// pdesLink models one direction of a device's PCIe link: a serial
+// resource with fixed latency and finite bandwidth, owned by exactly
+// one kernel (device-to-host by the device, host-to-device by the
+// host), so reservations never cross kernels and stay deterministic.
+type pdesLink struct {
+	free sim.Cycles // cycle the link becomes idle
+	bpc  float64    // bytes per cycle
+	lat  sim.Cycles // propagation latency
+}
+
+// reserve books n bytes at or after now; done is when the last byte
+// leaves (the sender may proceed), arrive when it lands on the far
+// side. Successive reservations arrive in reservation order — the FIFO
+// property every data-before-flag argument below rests on.
+func (l *pdesLink) reserve(now sim.Cycles, n int) (done, arrive sim.Cycles) {
+	start := now
+	if l.free > start {
+		start = l.free
+	}
+	occ := sim.Cycles(float64(n) / l.bpc)
+	if occ < 1 {
+		occ = 1
+	}
+	done = start + occ
+	l.free = done
+	return done, done + l.lat
+}
+
+// PDESSystem is the domain-decomposed counterpart of System: the same
+// Config, chips and schemes, driven by sim.PDES instead of one kernel.
+type PDESSystem struct {
+	PDES   *sim.PDES
+	Config Config
+	Chips  []*scc.Chip
+
+	workers int
+	params  pcie.Params
+	eng     *pdesHost
+	ports   []*pdesPort
+	// sinks holds one observability sink per kernel (devices 0..N-1,
+	// host at N); nil entries disable recording for that kernel.
+	sinks []*trace.Sink
+}
+
+// pdesUnsupportedFaults rejects fault classes that require the framed
+// single-kernel fabric.
+func pdesUnsupportedFaults(f *fault.Config) error {
+	if f == nil {
+		return nil
+	}
+	if f.DropPer10k != 0 || f.DupPer10k != 0 || f.DelayPer10k != 0 || f.CorruptPer10k != 0 ||
+		f.FlagLossPer10k != 0 || f.CacheCorruptPer10k != 0 || f.MMIOCorruptPer10k != 0 {
+		return errors.New("vscc: pdes supports only device-crash faults; packet/flag/cache/mmio faults need the framed single-kernel fabric")
+	}
+	if len(f.StallAt) != 0 || len(f.CrashAt) != 0 {
+		return errors.New("vscc: pdes supports only device-crash faults; host stall/crash faults need the single-kernel host task")
+	}
+	if len(f.DevLinkDownAt) != 0 {
+		return errors.New("vscc: pdes supports only device-crash faults; link-down faults need the framed fabric's journals")
+	}
+	return nil
+}
+
+// NewPDESSystem assembles a domain-decomposed vSCC driven by `workers`
+// goroutines (1 = the serial identity reference).
+func NewPDESSystem(cfg Config, workers int) (*PDESSystem, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("vscc: %d devices", cfg.Devices)
+	}
+	if cfg.Scheme == SchemeHWAccel && cfg.Devices > 2 {
+		return nil, fmt.Errorf("vscc: the hardware-accelerated scheme is unstable beyond 2 devices (§2.3); got %d", cfg.Devices)
+	}
+	if cfg.Check {
+		return nil, errors.New("vscc: the consistency checker is a cross-device oracle and cannot run under pdes")
+	}
+	if err := pdesUnsupportedFaults(cfg.Faults); err != nil {
+		return nil, err
+	}
+	chipParams := scc.DefaultParams()
+	if cfg.ChipParams != nil {
+		chipParams = *cfg.ChipParams
+	}
+	fabricParams := pcie.DefaultParams()
+	if cfg.FabricParams != nil {
+		fabricParams = *cfg.FabricParams
+	}
+	if fabricParams.LinkLatency < 1 {
+		return nil, errors.New("vscc: pdes needs a positive PCIe link latency (the lookahead)")
+	}
+	hostParams := host.DefaultParams()
+	if cfg.HostParams != nil {
+		hostParams = *cfg.HostParams
+	}
+	_ = hostParams // reserved: the pdes host uses the pcie op costs only
+
+	s := &PDESSystem{
+		Config:  cfg,
+		workers: workers,
+		params:  fabricParams,
+		// Kernel i simulates device i; kernel Devices the host/PCIe side.
+		PDES:  sim.NewPDES(cfg.Devices+1, fabricParams.LinkLatency),
+		sinks: make([]*trace.Sink, cfg.Devices+1),
+	}
+	s.eng = &pdesHost{
+		sys:   s,
+		k:     s.PDES.Kernel(cfg.Devices),
+		idx:   cfg.Devices,
+		h2d:   make([]pdesLink, cfg.Devices),
+		banks: make([]*host.Banks, cfg.Devices),
+		cache: make(map[pdesCacheKey]*pdesHostCopy),
+	}
+	for d := 0; d < cfg.Devices; d++ {
+		s.eng.h2d[d] = pdesLink{bpc: fabricParams.LinkBytesPerCycle, lat: fabricParams.LinkLatency}
+		s.eng.banks[d] = host.NewBanks()
+		chip := scc.NewChip(s.PDES.Kernel(d), d, chipParams)
+		for _, core := range cfg.FailedCores[d] {
+			chip.SetAlive(core, false)
+		}
+		pt := &pdesPort{
+			sys:    s,
+			dev:    d,
+			chip:   chip,
+			d2h:    pdesLink{bpc: fabricParams.LinkBytesPerCycle, lat: fabricParams.LinkLatency},
+			stream: make(map[pdesStreamKey]*pdesStream),
+		}
+		chip.OffChip = pt
+		s.Chips = append(s.Chips, chip)
+		s.ports = append(s.ports, pt)
+	}
+	if cfg.Faults != nil && len(cfg.Faults.DevCrashAt) > 0 {
+		s.armDeviceFaults(*cfg.Faults)
+	}
+	return s, nil
+}
+
+// Instrument attaches one sink per kernel: sinks[d] for device d,
+// sinks[Devices] for the host kernel. Nil entries (or a nil slice)
+// disable. Per-kernel sinks are mandatory under PDES because
+// trace.Sink is not concurrency-safe.
+func (s *PDESSystem) Instrument(sinks []*trace.Sink) {
+	for i := range s.sinks {
+		if sinks != nil && i < len(sinks) {
+			s.sinks[i] = sinks[i]
+		}
+	}
+}
+
+// hostIdx returns the host kernel's index.
+func (s *PDESSystem) hostIdx() int { return s.Config.Devices }
+
+// Workers returns the configured worker count.
+func (s *PDESSystem) Workers() int { return s.workers }
+
+// TotalCores returns the number of available cores across all devices.
+func (s *PDESSystem) TotalCores() int {
+	n := 0
+	for _, c := range s.Chips {
+		n += len(c.AliveCores())
+	}
+	return n
+}
+
+// Run drives the decomposed simulation to completion.
+func (s *PDESSystem) Run() error { return s.PDES.Run(s.workers) }
+
+// NewSession mirrors System.NewSession for the decomposed engine.
+func (s *PDESSystem) NewSession(n int, opts ...rcce.Option) (*rcce.Session, error) {
+	places, err := rcce.LinearPlaces(s.Chips, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewSessionAt(places, opts...)
+}
+
+// NewSessionAt is NewSession with explicit placements. The protocol
+// runs with the fault machinery disarmed (waits are purely
+// event-driven; device crashes recover by held-delivery replay, so
+// every awaited flag eventually lands), per-device sinks route every
+// rank's observability to its own kernel, and the session runner is
+// the PDES barrier-window engine.
+func (s *PDESSystem) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.Session, error) {
+	base := s.Config.OnChipProtocol
+	if base == nil {
+		base = rcce.DefaultProtocol{}
+	}
+	threshold := s.Config.DirectThreshold
+	if threshold == 0 {
+		threshold = s.Config.Scheme.DirectThreshold()
+	}
+	slot := s.Config.VDMASlotBytes
+	if slot > rcce.PayloadBytes/2 {
+		return nil, fmt.Errorf("vscc: vDMA slot %d exceeds half the payload area (%d)", slot, rcce.PayloadBytes/2)
+	}
+	proto := &interDeviceProtocol{
+		base:      base,
+		scheme:    s.Config.Scheme,
+		threshold: threshold,
+		slot:      slot,
+		seqs:      make([]pairSeq, len(places)*len(places)),
+		nRanks:    len(places),
+		published: make([]int, len(places)),
+	}
+	opts = append([]rcce.Option{
+		rcce.WithProtocol(proto),
+		rcce.WithDeviceSinks(s.sinks[:s.Config.Devices]),
+		rcce.WithSink(s.sinks[s.hostIdx()]),
+		rcce.WithRunner(s.Run),
+	}, opts...)
+	session, err := rcce.NewSession(s.PDES.Kernel(s.hostIdx()), s.Chips, places, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Boot-time LUT mappings of remote on-chip memory (§2.1); the host
+	// region table has no PDES counterpart — routing decisions live in
+	// the port's write policy.
+	for _, pl := range places {
+		lut := s.Chips[pl.Dev].Cores[pl.Core].LUT
+		for d := range s.Chips {
+			if d == pl.Dev {
+				continue
+			}
+			if err := lut.MapRemoteDevice(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return session, nil
+}
+
+// --- device-side port ----------------------------------------------------
+
+// pdesStreamKey identifies the published MPB range of one core's MPB
+// half in a receiver's stream buffer. The half index (off divided by
+// the per-core LMB size) matters: two cores share a tile, and keying
+// by tile alone would let one core's publication clobber the
+// bookkeeping of its tile-mate's, leaving a peer's stale stream alive
+// across an invalidation.
+type pdesStreamKey struct{ dev, tile, half int }
+
+// pdesStream is a receiver-side copy of a published sender MPB range,
+// installed by a bulk host-cache response (the SIF prefetch streaming
+// of Fig. 4b).
+type pdesStream struct {
+	off  int
+	data []byte
+}
+
+// pdesHeld is one delivery held while its device is down, replayed in
+// arrival order at rejoin.
+type pdesHeld struct {
+	fn    func()
+	bytes int
+}
+
+// pdesPort implements scc.OffChipPort for one device kernel. All its
+// state is owned by that kernel; the only cross-kernel effects are
+// PDES.Post calls toward the host kernel.
+type pdesPort struct {
+	sys  *PDESSystem
+	dev  int
+	chip *scc.Chip
+	d2h  pdesLink
+
+	// stream holds host-pushed copies of published sender ranges;
+	// invalidations arrive on the same FIFO host-to-device link as any
+	// subsequent flag write, so a stale hit is impossible while the
+	// protocol's grant/ready handshake holds.
+	stream map[pdesStreamKey]*pdesStream
+
+	// Device-crash recovery (armed only with a DevCrashAt schedule).
+	state               DevState
+	epoch               uint8
+	gate                *sim.Gate
+	log                 *ckpt.Log
+	img                 [][]byte
+	imgWrites, imgBytes int
+	held                []pdesHeld
+}
+
+func (pt *pdesPort) k() *sim.Kernel { return pt.sys.PDES.Kernel(pt.dev) }
+
+// post sends fn to the host kernel, arriving at cycle at.
+func (pt *pdesPort) post(at sim.Cycles, fn func()) {
+	pt.sys.PDES.Post(pt.dev, at, pt.sys.hostIdx(), fn)
+}
+
+func (pt *pdesPort) sink() *trace.Sink { return pt.sys.sinks[pt.dev] }
+
+// count mirrors Membership.count: an aggregate counter plus its
+// per-device twin, on this device's own sink.
+func (pt *pdesPort) count(name string, v int64) {
+	sink := pt.sink()
+	if !sink.Enabled() {
+		return
+	}
+	sink.Add(name, v)
+	sink.Add(name+".d"+strconv.Itoa(pt.dev), v)
+}
+
+// ackPolicy is the write-acknowledgement class of one off-chip store.
+type ackPolicy int
+
+const (
+	ackPosted ackPolicy = iota // fire and forget (WCB absorbed)
+	ackFPGA                    // FPGA fast-ack: local SIF stall only
+	ackHost                    // blocks for the host's receipt
+	ackRemote                  // blocks for the remote apply (4 hops)
+)
+
+// writePolicy mirrors the classic engine's per-scheme ack mode and
+// region modes: routing acks remotely, hw-accel at the FPGA, and the
+// posted-payload schemes (remote put's write-combining window, vDMA's
+// posted region) split payload from flag area by offset.
+func (pt *pdesPort) writePolicy(off int) ackPolicy {
+	switch pt.sys.Config.Scheme {
+	case SchemeRouting:
+		return ackRemote
+	case SchemeHWAccel:
+		return ackFPGA
+	case SchemeRemotePut, SchemeVDMA:
+		if off%mem.CoreLMBSize < rcce.PayloadBytes {
+			return ackPosted
+		}
+		return ackHost
+	default:
+		return ackHost
+	}
+}
+
+// WriteLine implements scc.OffChipPort.
+func (pt *pdesPort) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data []byte, mask uint32) {
+	// Copy the masked line out of the caller's WCB slot: that buffer is
+	// reused the moment this method returns, but the bytes cross a
+	// kernel boundary and land a window later.
+	var buf [mem.LineSize]byte
+	copy(buf[:], data)
+	now := p.Now()
+	done, arrive := pt.d2h.reserve(now, mem.LineSize)
+	//lint:ignore simapi proof: reserve returns done = max(now, free) + occupancy >= now
+	p.Delay(done - now) // the store occupies the SIF queue
+	eng := pt.sys.eng
+	switch pt.writePolicy(off) {
+	case ackPosted:
+		pt.post(arrive, func() { eng.write(srcDev, dev, tile, off, buf, mask, ackPosted, nil) })
+	case ackFPGA:
+		pt.post(arrive, func() { eng.write(srcDev, dev, tile, off, buf, mask, ackFPGA, nil) })
+		p.Delay(pt.sys.params.SIFAckCycles)
+	case ackHost, ackRemote:
+		pol := pt.writePolicy(off)
+		wake := func() { p.Unpark() }
+		pt.post(arrive, func() { eng.write(srcDev, dev, tile, off, buf, mask, pol, wake) })
+		p.Park("pcie write ack")
+	}
+}
+
+// ReadLine implements scc.OffChipPort.
+func (pt *pdesPort) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []byte) {
+	// Stream-buffer hit: the host cache already pushed this published
+	// range here; the read is a local SIF access.
+	if s := pt.stream[pdesStreamKey{dev, tile, off / mem.CoreLMBSize}]; s != nil && off >= s.off && off+len(buf) <= s.off+len(s.data) {
+		p.Delay(pt.sys.params.SIFAckCycles)
+		copy(buf, s.data[off-s.off:])
+		return
+	}
+	now := p.Now()
+	_, arrive := pt.d2h.reserve(now, pdesReqBytes)
+	eng := pt.sys.eng
+	var resp []byte
+	wake := func(data []byte) { resp = data; p.Unpark() }
+	pt.post(arrive, func() { eng.read(srcDev, dev, tile, off, len(buf), wake) })
+	p.Park("pcie read")
+	copy(buf, resp)
+}
+
+// MMIOWriteLine implements scc.OffChipPort: fused register writes are
+// posted (the WCB already absorbed them on-core).
+func (pt *pdesPort) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, data []byte, mask uint32) {
+	var buf [mem.LineSize]byte
+	copy(buf[:], data)
+	now := p.Now()
+	done, arrive := pt.d2h.reserve(now, mem.LineSize)
+	//lint:ignore simapi proof: reserve returns done = max(now, free) + occupancy >= now
+	p.Delay(done - now)
+	eng := pt.sys.eng
+	pt.post(arrive, func() { eng.mmioWrite(hostDev, off, buf, mask) })
+}
+
+// MMIORead implements scc.OffChipPort: a blocking register read.
+func (pt *pdesPort) MMIORead(p *sim.Proc, srcDev, srcCore, hostDev, off int, buf []byte) {
+	now := p.Now()
+	_, arrive := pt.d2h.reserve(now, pdesReqBytes)
+	eng := pt.sys.eng
+	var resp []byte
+	wake := func(data []byte) { resp = data; p.Unpark() }
+	pt.post(arrive, func() { eng.mmioRead(srcDev, hostDev, off, len(buf), wake) })
+	p.Park("pcie mmio read")
+	copy(buf, resp)
+}
+
+// deliver applies (or holds, while the device is down) one
+// LMB-mutating delivery from the host.
+func (pt *pdesPort) deliver(bytes int, fn func()) {
+	if pt.state == DevDown || pt.state == DevRejoining {
+		pt.held = append(pt.held, pdesHeld{fn: fn, bytes: bytes})
+		return
+	}
+	fn()
+}
+
+// applyMasked lands the valid runs of a masked line write through the
+// chip's host write path (journaled, flag waiters woken).
+func (pt *pdesPort) applyMasked(tile, off int, data [mem.LineSize]byte, mask uint32) {
+	for i := 0; i < mem.LineSize; {
+		if mask&(1<<uint(i)) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < mem.LineSize && mask&(1<<uint(j)) != 0 {
+			j++
+		}
+		pt.chip.HostWriteLMB(tile, off+i, data[i:j])
+		i = j
+	}
+}
+
+// dropStream discards the receiver-side copy of a published range
+// (pushed by the host on CmdInvalidate). Never held: a crashed
+// device's streams were already lost in the wipe.
+func (pt *pdesPort) dropStream(dev, tile, half int) {
+	delete(pt.stream, pdesStreamKey{dev, tile, half})
+}
+
+// installStream lands a bulk cache response.
+func (pt *pdesPort) installStream(dev, tile, off int, data []byte) {
+	pt.stream[pdesStreamKey{dev, tile, off / mem.CoreLMBSize}] = &pdesStream{off: off, data: data}
+}
+
+// --- device-crash lifecycle ---------------------------------------------
+
+// armDeviceFaults wires the checkpoint journal, lifecycle gate and
+// crash/rejoin schedule of every device onto its own kernel, mirroring
+// newMembership (same counters, same drain/down/rejoin phases) without
+// any cross-kernel state.
+func (s *PDESSystem) armDeviceFaults(cfg fault.Config) {
+	drain := fault.DefaultDrainCycles
+	rejoin := cfg.RejoinCycles
+	if rejoin <= 0 {
+		rejoin = fault.DefaultRejoinCycles
+	}
+	interval := cfg.CkptInterval
+	if interval <= 0 {
+		interval = fault.DefaultCkptInterval
+	}
+	// The periodic checkpoint chains stop at a statically computed
+	// horizon (end of the last scheduled outage) instead of a shared
+	// pending counter: a cross-kernel counter would race.
+	var horizon sim.Cycles
+	for _, df := range cfg.DevCrashAt {
+		down := df.Down
+		if down <= 0 {
+			down = rejoin
+		}
+		if end := df.At + drain + down; end > horizon {
+			horizon = end
+		}
+	}
+	for _, pt := range s.ports {
+		pt := pt
+		k := pt.k()
+		pt.gate = sim.NewGate(k, fmt.Sprintf("dev%d.alive", pt.dev))
+		pt.gate.Open()
+		pt.log = ckpt.NewLog()
+		pt.chip.SetLifecycleGate(pt.gate)
+		pt.chip.SetWriteObserver(func(tile, off int, data []byte) {
+			pt.log.Note(tile, off, data)
+		})
+		// Checkpoint zero: the boot image (see newMembership).
+		pt.log.Checkpoint(pt.chip.SnapshotLMB())
+		var tick func()
+		tick = func() {
+			pt.checkpoint()
+			if k.Now()+interval <= horizon+interval {
+				k.After(interval, tick)
+			}
+		}
+		if horizon > 0 {
+			k.After(interval, tick)
+		}
+	}
+	for _, df := range cfg.DevCrashAt {
+		df := df
+		if df.Dev < 0 || df.Dev >= len(s.ports) {
+			continue
+		}
+		pt := s.ports[df.Dev]
+		down := df.Down
+		if down <= 0 {
+			down = rejoin
+		}
+		pt.k().At(df.At, func() { pt.fail(drain, down) })
+	}
+}
+
+// checkpoint takes one periodic snapshot of an up device.
+func (pt *pdesPort) checkpoint() {
+	if pt.state != DevUp || pt.log == nil {
+		return
+	}
+	banks := pt.chip.SnapshotLMB()
+	pt.log.Checkpoint(banks)
+	total := 0
+	for _, b := range banks {
+		total += len(b)
+	}
+	pt.count("ckpt.take", 1)
+	pt.count("ckpt.bytes", int64(total))
+}
+
+// fail starts the drain phase of one scheduled crash (mirrors
+// Membership.fail with wipe semantics).
+func (pt *pdesPort) fail(drain, down sim.Cycles) {
+	if pt.state != DevUp {
+		return // void fault: overlapping schedule
+	}
+	// The injector's ledger names, emitted directly: the pdes fault
+	// path has no Injector instance, but the vscctrace recovery table
+	// keys on these counters.
+	pt.count("fault.inject.devcrash", 1)
+	pt.state = DevDraining
+	pt.gate.Close()
+	pt.k().After(drain, func() { pt.goDown(down) })
+}
+
+// goDown completes the crash: epoch advance, crash-point image capture,
+// wipe, and every subsequent host delivery held.
+func (pt *pdesPort) goDown(downFor sim.Cycles) {
+	pt.state = DevDown
+	pt.epoch++
+	pt.count("epoch.advance", 1)
+	pt.img, pt.imgWrites, pt.imgBytes = pt.log.Restore()
+	pt.chip.WipeLMB()
+	// Device-side copies of published ranges die with the device.
+	for key := range pt.stream {
+		delete(pt.stream, key)
+	}
+	pt.k().After(downFor, func() { pt.rejoin() })
+}
+
+// rejoin restores the crash-point image, replays held deliveries in
+// arrival order, and reopens the lifecycle gate.
+func (pt *pdesPort) rejoin() {
+	pt.state = DevRejoining
+	pt.chip.LoadLMB(pt.img)
+	pt.count("replay.writes", int64(pt.imgWrites))
+	pt.count("replay.bytes", int64(pt.imgBytes))
+	pt.img = nil
+	// Rebase the journal on the restored image (second-crash safety).
+	pt.log.Checkpoint(pt.chip.SnapshotLMB())
+	held := pt.held
+	pt.held = nil
+	pt.state = DevUp
+	frames, bytes := 0, 0
+	for _, h := range held {
+		h.fn()
+		frames++
+		bytes += h.bytes
+	}
+	pt.count("replay.frames", int64(frames))
+	pt.count("replay.frame_bytes", int64(bytes))
+	pt.gate.Open()
+	pt.count("fault.recover.rejoin", 1)
+}
+
+// --- host/PCIe kernel ----------------------------------------------------
+
+// pdesCacheKey identifies one core's published MPB half in the host
+// software cache (same half-granularity rationale as pdesStreamKey).
+type pdesCacheKey struct{ dev, tile, half int }
+
+// pdesHostCopy is the host cache's copy of one published range.
+type pdesHostCopy struct {
+	off, n  int
+	data    []byte
+	valid   bool
+	readers []bool // devices holding a pushed stream of this copy
+}
+
+// pdesHost is the host/PCIe kernel's engine: the serialization point
+// every classic host.Task service ran through, re-expressed as message
+// handlers. All state is owned by the host kernel.
+type pdesHost struct {
+	sys   *PDESSystem
+	k     *sim.Kernel
+	idx   int
+	busy  sim.Cycles
+	h2d   []pdesLink
+	banks []*host.Banks
+	cache map[pdesCacheKey]*pdesHostCopy
+}
+
+func (e *pdesHost) sink() *trace.Sink { return e.sys.sinks[e.idx] }
+
+// post sends fn to device dev's kernel, arriving at cycle at.
+func (e *pdesHost) post(at sim.Cycles, dev int, fn func()) {
+	e.sys.PDES.Post(e.idx, at, dev, fn)
+}
+
+// op serializes one host operation: it starts when the host is free
+// and costs HostOpCycles; the return value is its completion time,
+// from which any outbound link reservation starts.
+func (e *pdesHost) op() sim.Cycles {
+	start := e.k.Now()
+	if e.busy > start {
+		start = e.busy
+	}
+	e.busy = start + e.sys.params.HostOpCycles
+	e.sink().Add("pdes.host.ops", 1)
+	return e.busy
+}
+
+// write handles one device store: apply it at the destination device
+// and acknowledge per policy.
+func (e *pdesHost) write(srcDev, dev, tile, off int, data [mem.LineSize]byte, mask uint32, pol ackPolicy, wake func()) {
+	done := e.op()
+	dst := e.sys.ports[dev]
+	if pol == ackHost && wake != nil {
+		// Host receipt: acknowledged as soon as the host has the line,
+		// concurrently with the forward delivery.
+		_, arrive := e.h2d[srcDev].reserve(done, pdesAckBytes)
+		e.post(arrive, srcDev, wake)
+		wake = nil
+	}
+	_, arrive := e.h2d[dev].reserve(done, mem.LineSize)
+	remoteWake := wake // non-nil only for ackRemote
+	e.post(arrive, dev, func() {
+		dst.deliver(int(mem.LineSize), func() {
+			dst.applyMasked(tile, off, data, mask)
+			if remoteWake != nil {
+				// Remote acknowledgement: back across both links.
+				ackDone, ackArrive := dst.d2h.reserve(dst.k().Now(), pdesAckBytes)
+				_ = ackDone
+				dst.post(ackArrive, func() {
+					done := e.op()
+					_, a := e.h2d[srcDev].reserve(done, pdesAckBytes)
+					e.post(a, srcDev, remoteWake)
+				})
+			}
+		})
+	})
+}
+
+// read serves a device's foreign MPB line read.
+func (e *pdesHost) read(srcDev, dev, tile, off, n int, wake func([]byte)) {
+	done := e.op()
+	key := pdesCacheKey{dev, tile, off / mem.CoreLMBSize}
+	if c := e.cache[key]; c != nil && c.valid && off >= c.off && off+n <= c.off+c.n {
+		// Cache hit: push the whole published range to the reader (the
+		// prefetch stream), then serve the line out of it.
+		e.sink().Add("pdes.cache.hits", 1)
+		c.readers[srcDev] = true
+		data := c.data
+		cOff := c.off
+		_, arrive := e.h2d[srcDev].reserve(done, len(data))
+		rd := e.sys.ports[srcDev]
+		e.post(arrive, srcDev, func() {
+			rd.installStream(dev, tile, cOff, data)
+			resp := make([]byte, n)
+			copy(resp, data[off-cOff:])
+			wake(resp)
+		})
+		return
+	}
+	// Transparent forward to the owning device (4 hops).
+	e.sink().Add("pdes.cache.forwards", 1)
+	owner := e.sys.ports[dev]
+	_, arrive := e.h2d[dev].reserve(done, pdesReqBytes)
+	e.post(arrive, dev, func() {
+		owner.deliver(n, func() {
+			data := make([]byte, n)
+			owner.chip.HostReadLMB(tile, off, data)
+			_, respArrive := owner.d2h.reserve(owner.k().Now(), n)
+			owner.post(respArrive, func() {
+				done := e.op()
+				_, a := e.h2d[srcDev].reserve(done, n)
+				e.post(a, srcDev, func() { wake(data) })
+			})
+		})
+	})
+}
+
+// mmioWrite lands a fused register write and executes any armed
+// command.
+func (e *pdesHost) mmioWrite(hostDev, off int, data [mem.LineSize]byte, mask uint32) {
+	done := e.op()
+	core := off / host.BankBytes
+	cmd, trigger := e.banks[hostDev].Write(core, data[:], mask)
+	if !trigger {
+		return
+	}
+	cmd.SrcDev, cmd.SrcCore = hostDev, core
+	if err := cmd.Validate(len(e.sys.Chips)); err != nil {
+		// A corrupt command cannot occur without the fault injector;
+		// dropping it deterministically matches the classic validator's
+		// reject-and-continue behaviour.
+		return
+	}
+	switch cmd.Cmd {
+	case host.CmdUpdate:
+		e.update(cmd, done)
+	case host.CmdInvalidate:
+		e.invalidate(cmd, done)
+	case host.CmdCopy:
+		e.vdmaCopy(cmd, done)
+	}
+}
+
+// mmioRead serves a blocking register read.
+func (e *pdesHost) mmioRead(srcDev, hostDev, off, n int, wake func([]byte)) {
+	done := e.op()
+	bank := e.banks[hostDev].Read(off / host.BankBytes)
+	resp := make([]byte, n)
+	copy(resp, bank[off%host.BankBytes:])
+	_, arrive := e.h2d[srcDev].reserve(done, n)
+	e.post(arrive, srcDev, func() { wake(resp) })
+}
+
+// update executes CmdUpdate: fetch the published range of the
+// requester's MPB into the host cache (warming the local-put/
+// remote-get path).
+func (e *pdesHost) update(cmd host.BankCommand, done sim.Cycles) {
+	dev := cmd.SrcDev
+	tile := scc.CoreTile(cmd.SrcCore)
+	src := e.sys.ports[dev]
+	_, arrive := e.h2d[dev].reserve(done, pdesReqBytes)
+	e.post(arrive, dev, func() {
+		src.deliver(cmd.Count, func() {
+			data := make([]byte, cmd.Count)
+			src.chip.HostReadLMB(tile, cmd.SrcOff, data)
+			_, respArrive := src.d2h.reserve(src.k().Now(), cmd.Count)
+			src.post(respArrive, func() {
+				e.op()
+				key := pdesCacheKey{dev, tile, cmd.SrcOff / mem.CoreLMBSize}
+				c := e.cache[key]
+				if c == nil {
+					c = &pdesHostCopy{readers: make([]bool, len(e.sys.Chips))}
+					e.cache[key] = c
+				}
+				c.off, c.n, c.data, c.valid = cmd.SrcOff, cmd.Count, data, true
+				for i := range c.readers {
+					c.readers[i] = false
+				}
+			})
+		})
+	})
+}
+
+// invalidate executes CmdInvalidate: drop the host copy and push
+// stream invalidations to every device holding one. The invalidations
+// ride the same FIFO host-to-device links as all subsequent flag
+// writes, so no reader can observe a stale stream after a flag that
+// permits the next read.
+func (e *pdesHost) invalidate(cmd host.BankCommand, done sim.Cycles) {
+	dev := cmd.SrcDev
+	tile := scc.CoreTile(cmd.SrcCore)
+	half := cmd.SrcOff / mem.CoreLMBSize
+	c := e.cache[pdesCacheKey{dev, tile, half}]
+	if c == nil || !c.valid {
+		return
+	}
+	if cmd.SrcOff >= c.off+c.n || cmd.SrcOff+cmd.Count <= c.off {
+		return // disjoint range: the copy stays valid
+	}
+	c.valid = false
+	for rd := 0; rd < len(c.readers); rd++ { // ascending: deterministic
+		if !c.readers[rd] {
+			continue
+		}
+		c.readers[rd] = false
+		pt := e.sys.ports[rd]
+		_, arrive := e.h2d[rd].reserve(done, pdesAckBytes)
+		e.post(arrive, rd, func() { pt.dropStream(dev, tile, half) })
+	}
+}
+
+// vdmaCopy executes CmdCopy: the virtual DMA controller reads the
+// source slot out of the requester's MPB, writes it (plus the notify
+// flag, in the same delivery so data-before-flag holds trivially) to
+// the destination, and raises the completion flag at the requester.
+func (e *pdesHost) vdmaCopy(cmd host.BankCommand, done sim.Cycles) {
+	e.sink().Add("pdes.vdma.copies", 1)
+	srcDev := cmd.SrcDev
+	srcTile := scc.CoreTile(cmd.SrcCore)
+	src := e.sys.ports[srcDev]
+	setup := done + e.sys.params.DMASetupCycles
+	_, arrive := e.h2d[srcDev].reserve(setup, pdesReqBytes)
+	e.post(arrive, srcDev, func() {
+		src.deliver(cmd.Count, func() {
+			data := make([]byte, cmd.Count)
+			src.chip.HostReadLMB(srcTile, cmd.SrcOff, data)
+			_, respArrive := src.d2h.reserve(src.k().Now(), cmd.Count)
+			src.post(respArrive, func() {
+				done := e.op()
+				if cmd.Flags&host.FlagCompletion != 0 {
+					_, ca := e.h2d[srcDev].reserve(done, pdesAckBytes)
+					e.post(ca, srcDev, func() {
+						src.deliver(1, func() {
+							src.chip.HostWriteLMB(srcTile, cmd.ComplOff, []byte{cmd.ComplVal})
+						})
+					})
+				}
+				dst := e.sys.ports[cmd.DstDev]
+				_, da := e.h2d[cmd.DstDev].reserve(done, cmd.Count)
+				e.post(da, cmd.DstDev, func() {
+					dst.deliver(cmd.Count, func() {
+						dst.chip.HostWriteLMB(cmd.DstTile, cmd.DstOff, data)
+						if cmd.Flags&host.FlagNotifyDest != 0 {
+							dst.chip.HostWriteLMB(cmd.DstTile, cmd.NotifyOff, []byte{cmd.NotifyVal})
+						}
+					})
+				})
+			})
+		})
+	})
+}

@@ -10,9 +10,6 @@ import (
 	"vscc/internal/sim"
 )
 
-// pairKey identifies an ordered (sender, receiver) rank pair.
-type pairKey struct{ src, dst int }
-
 // pairSeq carries the persistent chunk counters of one pair (the vDMA
 // scheme uses value-encoded flags, never cleared, so no reset races
 // exist across messages).
@@ -34,18 +31,25 @@ func seqVal(s uint64) byte { return byte((s-1)%255) + 1 }
 // pairs use the base (on-chip) protocol, cross-device pairs the
 // configured host-accelerated scheme.
 type interDeviceProtocol struct {
-	sys       *System
 	base      rcce.Protocol
 	scheme    Scheme
 	threshold int
-	seq       map[pairKey]*pairSeq
+	// seqs holds the per-ordered-pair counters, pre-allocated as a flat
+	// nRanks×nRanks array rather than a lazily-grown map: under PDES a
+	// pair's sender and receiver run on different kernels, and while
+	// they touch disjoint fields of the same pairSeq (sender: out/cmd,
+	// receiver: in — race-free by the Go memory model), a map mutated on
+	// first use would race structurally.
+	seqs   []pairSeq
+	nRanks int
 	// slot overrides the vDMA double-buffer slot size (ablation knob;
 	// 0 = vdmaHalf). At most half the payload area.
 	slot int
 	// published tracks, per sender rank, how many bytes of its MPB the
 	// host cache currently mirrors; the sender invalidates that range
-	// before every reuse (§3.1's explicit consistency control).
-	published map[int]int
+	// before every reuse (§3.1's explicit consistency control). A slice
+	// (single-writer per rank) for the same PDES reason as seqs.
+	published []int
 
 	// faults/rec arm the recovery ladder on every engaged wait: nil
 	// faults means waits run unbudgeted on the exact same code path.
@@ -180,13 +184,7 @@ func (ip *interDeviceProtocol) Name() string {
 }
 
 func (ip *interDeviceProtocol) pair(src, dst int) *pairSeq {
-	k := pairKey{src, dst}
-	s, ok := ip.seq[k]
-	if !ok {
-		s = &pairSeq{}
-		ip.seq[k] = s
-	}
-	return s
+	return &ip.seqs[src*ip.nRanks+dst]
 }
 
 // Send implements rcce.Protocol.
@@ -199,8 +197,9 @@ func (ip *interDeviceProtocol) Send(r *rcce.Rank, dest int, data []byte) {
 		return
 	}
 	// Per-scheme message-size histogram of the inter-device traffic, plus
-	// the direct-vs-engaged split of the §3.3 threshold.
-	if sink := r.Session().Sink(); sink.Enabled() {
+	// the direct-vs-engaged split of the §3.3 threshold. Recorded via the
+	// rank's own (per-device under PDES) sink.
+	if sink := r.Sink(); sink.Enabled() {
 		sink.Observe("vscc."+ip.scheme.Key()+".msg_size", float64(len(data)))
 		if ip.threshold > 0 && len(data) <= ip.threshold {
 			sink.Add("vscc.direct_sends", 1)

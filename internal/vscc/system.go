@@ -300,13 +300,13 @@ func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.S
 		return nil, fmt.Errorf("vscc: vDMA slot %d exceeds half the payload area (%d)", slot, rcce.PayloadBytes/2)
 	}
 	proto := &interDeviceProtocol{
-		sys:       s,
 		base:      base,
 		scheme:    s.Config.Scheme,
 		threshold: threshold,
 		slot:      slot,
-		seq:       make(map[pairKey]*pairSeq),
-		published: make(map[int]int),
+		seqs:      make([]pairSeq, len(places)*len(places)),
+		nRanks:    len(places),
+		published: make([]int, len(places)),
 		faults:    s.Injector,
 		rec:       s.Injector.Recovery(),
 		mem:       s.Membership,
