@@ -45,8 +45,10 @@ bench-kernel:
 
 # Fault-injection gate: injector unit tests, the fault matrix, the
 # recovery tests and the soak's 1x short schedule, all under the race
-# detector, plus coverage floors on the injector and PCIe packet-layer
-# packages (the two packages that carry the fault/recovery machinery).
+# detector, plus coverage floors on the injector, the PCIe packet layer
+# and the multi-tenant scheduler (the packages carrying the
+# fault/recovery and admission machinery). The sched profile merges the
+# package tests with the root multi-tenant integration test.
 fault:
 	$(GO) test -race -short ./internal/fault
 	$(GO) test -race -short -run Fault ./internal/harness .
@@ -62,6 +64,12 @@ fault:
 	echo "internal/pcie coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
 		{ echo "internal/pcie coverage below the 80% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover-sched.out -coverpkg=./internal/sched ./internal/sched . >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-sched.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-sched.out; \
+	echo "internal/sched coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/sched coverage below the 80% floor"; exit 1; }
 
 # Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
 soak:

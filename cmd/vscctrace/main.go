@@ -11,7 +11,16 @@
 // per device, the injected device faults, rejoins, epoch advances,
 // checkpoints, journal-replay and PCIe-replay volumes, plus the other
 // per-device recovery actions — the terminal-side summary of a
-// crash-recovery run (fault spec devcrash=.../devlinkdown=...).
+// crash-recovery run (fault spec devcrash=.../devlinkdown=...). The
+// ledger is tallied per source file first and identical per-device
+// ledgers are counted once across files, so handing vscctrace a merged
+// export alongside one of its sources does not double-count.
+//
+// With -tenant N the event stream is restricted to tenant N of a
+// multi-tenant run (cmd/vsccd): tracks whose thread carries the
+// tenant's tag and the tenant's ".tNNN" counters, with process names
+// kept for orientation. The filter composes with the span view and
+// -merge (exporting one tenant's trace).
 //
 // Several trace files — e.g. the per-kernel captures of a PDES run —
 // may be given together: their events are merged into one canonically
@@ -25,6 +34,7 @@
 //	vscctrace trace.json
 //	vscctrace -top 5 trace.json
 //	vscctrace -recovery trace.json
+//	vscctrace -tenant 3 trace.json
 //	vscctrace -merge merged.json k0.json k1.json khost.json
 package main
 
@@ -37,6 +47,8 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"vscc/internal/trace"
 )
 
 // event is the subset of the Chrome trace-event fields the exporter
@@ -225,13 +237,17 @@ type process struct {
 func main() {
 	top := flag.Int("top", 10, "span names to list per process, by total duration")
 	recovery := flag.Bool("recovery", false, "print the per-device fault/recovery ledger instead of the span view")
+	tenant := flag.Int("tenant", -1, "restrict the stream to this tenant's tracks and counters (-1 off)")
 	mergeOut := flag.String("merge", "", "write the merged, canonically ordered trace to FILE")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] [-recovery] [-merge out.json] trace.json [more.json ...]")
+		fmt.Fprintln(os.Stderr, "usage: vscctrace [-top N] [-recovery] [-tenant N] [-merge out.json] trace.json [more.json ...]")
 		os.Exit(2)
 	}
 	events := loadMerged(flag.Args())
+	if *tenant >= 0 {
+		events = filterTenant(events, *tenant)
+	}
 	if *mergeOut != "" {
 		writeMerged(*mergeOut, events)
 	}
@@ -292,7 +308,7 @@ func main() {
 	}
 	sort.Ints(pids)
 	if *recovery {
-		printRecovery(procs, pids)
+		printRecovery(recoveryLedgers(events))
 		return
 	}
 	source := flag.Arg(0)
@@ -370,53 +386,166 @@ type devLedger struct {
 	recovered int64 // all fault.recover.* for this device
 }
 
-// printRecovery renders the per-device fault/recovery table from the
-// counter mirrors, summed over every process in the trace.
-func printRecovery(procs map[int]*process, pids []int) {
-	ledgers := map[int]*devLedger{}
-	for _, pid := range pids {
-		for name, v := range procs[pid].counters {
-			m := devCounter.FindStringSubmatch(name)
-			if m == nil {
+// add folds one final counter value into the ledger, keyed by the
+// counter's base name (the part before the ".dN" device suffix).
+func (l *devLedger) add(base string, v int64) {
+	switch base {
+	case "fault.inject.devcrash":
+		l.crashes += v
+	case "fault.inject.devlinkdown":
+		l.linkdowns += v
+	case "fault.recover.rejoin":
+		l.rejoins += v
+	case "epoch.advance":
+		l.epochs += v
+	case "ckpt.take":
+		l.ckpts += v
+	case "replay.writes":
+		l.jrnWrites += v
+	case "replay.bytes":
+		l.jrnBytes += v
+	case "replay.frames":
+		l.pcieFr += v
+	case "replay.frame_bytes":
+		l.pcieBytes += v
+	}
+	if len(base) > 13 && base[:13] == "fault.inject." {
+		l.injected += v
+	}
+	if len(base) > 14 && base[:14] == "fault.recover." {
+		l.recovered += v
+	}
+}
+
+// merge sums another ledger into this one.
+func (l *devLedger) merge(o devLedger) {
+	l.crashes += o.crashes
+	l.linkdowns += o.linkdowns
+	l.rejoins += o.rejoins
+	l.epochs += o.epochs
+	l.ckpts += o.ckpts
+	l.jrnWrites += o.jrnWrites
+	l.jrnBytes += o.jrnBytes
+	l.pcieFr += o.pcieFr
+	l.pcieBytes += o.pcieBytes
+	l.injected += o.injected
+	l.recovered += o.recovered
+}
+
+// recoveryLedgers tallies the per-device fault/recovery counters from
+// the merged stream. Values are aggregated per source file first (last
+// sample of each counter within a file wins, processes summed), and
+// only then combined across files — a file whose ledger for a device is
+// identical to one already counted is skipped. Without that step the
+// same device ledger appearing in two merged inputs (a merged export
+// handed in next to one of its source captures, or the same capture
+// listed twice) doubled every checkpoint and replay figure.
+func recoveryLedgers(events []taggedEvent) map[int]*devLedger {
+	type counterKey struct {
+		file, pid int
+		name      string
+	}
+	final := map[counterKey]int64{}
+	var order []counterKey
+	for _, te := range events {
+		if te.Ph != "C" {
+			continue
+		}
+		k := counterKey{te.file, te.event.Pid, te.Name}
+		if _, ok := final[k]; !ok {
+			order = append(order, k)
+		}
+		final[k] = te.Args.Value
+	}
+	perFile := map[int]map[int]*devLedger{}
+	for _, k := range order {
+		m := devCounter.FindStringSubmatch(k.name)
+		if m == nil {
+			continue
+		}
+		dev, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		fl := perFile[k.file]
+		if fl == nil {
+			fl = map[int]*devLedger{}
+			perFile[k.file] = fl
+		}
+		l := fl[dev]
+		if l == nil {
+			l = &devLedger{}
+			fl[dev] = l
+		}
+		l.add(m[1], final[k])
+	}
+	files := make([]int, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Ints(files)
+	out := map[int]*devLedger{}
+	seen := map[int]map[devLedger]bool{}
+	for _, f := range files {
+		devs := make([]int, 0, len(perFile[f]))
+		for d := range perFile[f] {
+			devs = append(devs, d)
+		}
+		sort.Ints(devs)
+		for _, d := range devs {
+			l := *perFile[f][d]
+			if seen[d] == nil {
+				seen[d] = map[devLedger]bool{}
+			}
+			if seen[d][l] {
 				continue
 			}
-			dev, err := strconv.Atoi(m[2])
-			if err != nil {
-				continue
+			seen[d][l] = true
+			o := out[d]
+			if o == nil {
+				o = &devLedger{}
+				out[d] = o
 			}
-			l, ok := ledgers[dev]
-			if !ok {
-				l = &devLedger{}
-				ledgers[dev] = l
+			o.merge(l)
+		}
+	}
+	return out
+}
+
+// filterTenant restricts the stream to one tenant: spans and instants
+// on tracks whose thread name carries the tenant tag, counters with the
+// tenant's ".tNNN" component, thread metadata of the kept tracks, and
+// every process_name record (so the remaining events stay attributable).
+func filterTenant(events []taggedEvent, id int) []taggedEvent {
+	type track struct{ pid, tid int }
+	keep := map[track]bool{}
+	for _, te := range events {
+		if te.Ph == "M" && te.Name == "thread_name" && trace.HasTenantTag(te.Args.Name, id) {
+			keep[track{te.event.Pid, te.Tid}] = true
+		}
+	}
+	var out []taggedEvent
+	for _, te := range events {
+		switch te.Ph {
+		case "M":
+			if te.Name == "process_name" || keep[track{te.event.Pid, te.Tid}] {
+				out = append(out, te)
 			}
-			switch base := m[1]; base {
-			case "fault.inject.devcrash":
-				l.crashes += v
-			case "fault.inject.devlinkdown":
-				l.linkdowns += v
-			case "fault.recover.rejoin":
-				l.rejoins += v
-			case "epoch.advance":
-				l.epochs += v
-			case "ckpt.take":
-				l.ckpts += v
-			case "replay.writes":
-				l.jrnWrites += v
-			case "replay.bytes":
-				l.jrnBytes += v
-			case "replay.frames":
-				l.pcieFr += v
-			case "replay.frame_bytes":
-				l.pcieBytes += v
+		case "X", "i":
+			if keep[track{te.event.Pid, te.Tid}] {
+				out = append(out, te)
 			}
-			if len(m[1]) > 13 && m[1][:13] == "fault.inject." {
-				l.injected += v
-			}
-			if len(m[1]) > 14 && m[1][:14] == "fault.recover." {
-				l.recovered += v
+		case "C":
+			if trace.HasTenantTag(te.Name, id) {
+				out = append(out, te)
 			}
 		}
 	}
+	return out
+}
+
+// printRecovery renders the per-device fault/recovery table.
+func printRecovery(ledgers map[int]*devLedger) {
 	if len(ledgers) == 0 {
 		fmt.Println("no per-device fault/recovery counters in this trace (run with -trace and a -fault schedule)")
 		return

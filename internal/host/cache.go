@@ -35,6 +35,13 @@ type cacheEntry struct {
 	// checksum was corrupted in host memory and must not be served.
 	track bool
 	sums  []uint32
+
+	// acct attributes this entry's resident lines to a tenant's cache
+	// partition (qos.go); nil — the default — disables partitioning.
+	// stamps records each line's validation sequence so a lazily
+	// processed eviction ref never drops a newer incarnation.
+	acct   *tenantQoS
+	stamps []uint64
 }
 
 func newCacheEntry(k *sim.Kernel, rg *Region) *cacheEntry {
@@ -57,7 +64,12 @@ func (e *cacheEntry) lineValid(off int) bool {
 func (e *cacheEntry) markValid(off, n int) {
 	for o := off; o < off+n; o += mem.LineSize {
 		i := (o - e.rg.Off) / mem.LineSize
-		e.valid[i] = true
+		if !e.valid[i] {
+			e.valid[i] = true
+			if e.acct != nil {
+				e.acct.noteValid(e, i)
+			}
+		}
 		if e.track {
 			if e.sums == nil {
 				e.sums = make([]uint32, len(e.valid))
@@ -86,6 +98,9 @@ func (e *cacheEntry) invalidate(off, n int) {
 	last := (off + n - 1 - e.rg.Off) / mem.LineSize
 	for i := first; i <= last && i < len(e.valid); i++ {
 		if i >= 0 {
+			if e.valid[i] && e.acct != nil {
+				e.acct.noteInvalid()
+			}
 			e.valid[i] = false
 		}
 	}

@@ -113,6 +113,18 @@ func (t *regionTable) add(rg *Region) error {
 	return nil
 }
 
+// remove drops a region from the table (tenant teardown).
+func (t *regionTable) remove(rg *Region) {
+	key := [2]int{rg.Dev, rg.Tile}
+	regs := t.byTile[key]
+	for i, other := range regs {
+		if other == rg {
+			t.byTile[key] = append(regs[:i], regs[i+1:]...)
+			return
+		}
+	}
+}
+
 // find returns the region containing (dev, tile, off), or nil.
 func (t *regionTable) find(dev, tile, off int) *Region {
 	for _, rg := range t.byTile[[2]int{dev, tile}] {

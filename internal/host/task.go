@@ -118,6 +118,10 @@ type Task struct {
 	// real per-channel DMA engine.
 	vdmaChans map[[2]int]*vdmaChannel
 
+	// qos is the multi-tenant state (qos.go); nil — the default — keeps
+	// every shared path byte-identical to the single-tenant task.
+	qos *qosState
+
 	stats Stats
 
 	// Fault injection (nil = fault-free; every fault path short-circuits).
@@ -208,6 +212,11 @@ func (t *Task) Register(rg *Region) error {
 	case ModeCached:
 		e := newCacheEntry(t.Kernel, rg)
 		e.track = t.faults != nil
+		// Under multi-tenancy, a cached region owned by a bound core
+		// counts against that tenant's cache partition.
+		if q := t.tenantByCore(rg.Dev, rg.Owner); q != nil && q.cacheQuota > 0 {
+			e.acct = q
+		}
 		t.caches[rg] = e
 		t.cacheList = append(t.cacheList, e)
 	case ModeWriteCombining:
@@ -415,7 +424,9 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 			}
 		}
 	}
-	// Slow path: cross to the host.
+	// Slow path: cross to the host. The tenant pays for the request and
+	// its response before touching the shared link.
+	t.chargeBW(p, srcDev, srcCore, t.Params.ReqBytes+t.Params.RespBytes)
 	t.devWait(p, srcDev)
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
@@ -508,6 +519,7 @@ func (t *Task) runStream(sp *sim.Proc, st *stream) {
 		// in the buffer, or the reader would be served the previous
 		// message's bytes.
 		gen := sb.genOf(st.rg.Dev, st.rg.Tile)
+		t.chargeBWRegion(sp, st.rg, mem.LineSize+t.Params.StreamHeaderBytes)
 		t.Fabric.PostH2D(sp, st.readerDev, mem.LineSize+t.Params.StreamHeaderBytes, func() {
 			if !sb.insertIfFresh(gen, st.rg.Dev, st.rg.Tile, key, data) {
 				t.sink.Add("host.stale_line_discard", 1)
@@ -525,6 +537,7 @@ func (t *Task) runStream(sp *sim.Proc, st *stream) {
 // WriteLine implements scc.OffChipPort.
 func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data []byte, mask uint32) {
 	t.meshToSIF(p, srcDev, srcCore, mem.LineSize)
+	t.chargeBW(p, srcDev, srcCore, mem.LineSize+t.Params.WriteHeaderBytes)
 	rg := t.regions.find(dev, tile, off)
 	link := t.Fabric.Link(srcDev)
 	// Write-combining host window: the new non-transparent fast path —
@@ -611,9 +624,16 @@ type deliverItem struct {
 	isFlag    bool
 }
 
-// enqueueDeliver hands a write to the device's forwarder daemon.
+// enqueueDeliver hands a write to the device's forwarder daemon. Under
+// multi-tenancy it lands in the destination tenant's DRR class instead
+// of the shared FIFO.
 func (t *Task) enqueueDeliver(dev, tile, off int, data []byte, mask uint32, isFlag bool) {
-	t.deliverQ[dev].Push(deliverItem{tile: tile, off: off, data: data, mask: mask, isFlag: isFlag})
+	it := deliverItem{tile: tile, off: off, data: data, mask: mask, isFlag: isFlag}
+	if t.qos != nil {
+		t.qos.drr[dev].enqueue(t.tenantAt(dev, tile, off), it)
+		return
+	}
+	t.deliverQ[dev].Push(it)
 }
 
 // runForwarder is the per-device daemon thread: it drains the delivery
@@ -624,7 +644,15 @@ func (t *Task) enqueueDeliver(dev, tile, off int, data []byte, mask uint32, isFl
 func (t *Task) runForwarder(p *sim.Proc, dev int) {
 	q := t.deliverQ[dev]
 	for {
-		item := q.Pop(p)
+		var item deliverItem
+		if t.qos != nil {
+			// Multi-tenant: deficit-round-robin across tenant classes
+			// (EnableQoS runs before the kernel, so the discipline is
+			// fixed by the time the daemon first dispatches).
+			item = t.qos.drr[dev].pop(p)
+		} else {
+			item = q.Pop(p)
+		}
 		t.gate.Wait(p)
 		t0 := p.Now()
 		if item.isFlag {
@@ -750,6 +778,7 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 				}
 				off := span.off + o
 				data := span.data[o : o+n]
+				t.chargeBWRegion(fp, w.rg, n+t.Params.StreamHeaderBytes)
 				t.Fabric.PostH2D(fp, dev, n+t.Params.StreamHeaderBytes, func() {
 					t.deliverBulk(dev, w.rg.Tile, off, data)
 					t.wcbPending[dev]--
@@ -769,6 +798,7 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 // in the host register file and may trigger a command.
 func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, data []byte, mask uint32) {
 	t.meshToSIF(p, srcDev, srcCore, mem.LineSize)
+	t.chargeBW(p, srcDev, srcCore, mem.LineSize)
 	p.Delay(t.Fabric.Params.SIFAckCycles)
 	d := snapshot(data)
 	t.Fabric.PostD2H(p, srcDev, mem.LineSize, func() {
@@ -797,6 +827,7 @@ func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, dat
 // MMIORead implements scc.OffChipPort: a blocking register read.
 func (t *Task) MMIORead(p *sim.Proc, srcDev, srcCore, hostDev, off int, buf []byte) {
 	t.meshToSIF(p, srcDev, srcCore, t.Params.ReqBytes)
+	t.chargeBW(p, srcDev, srcCore, t.Params.ReqBytes+t.Params.RespBytes)
 	t.devWait(p, srcDev)
 	link := t.Fabric.Link(srcDev)
 	link.D2H.Transfer(p, t.Params.ReqBytes)
@@ -905,6 +936,7 @@ func (t *Task) runPrefetch(p *sim.Proc, rg *Region, off, count int) {
 		oo, nn := o, n
 		e.pending++
 		t.sink.Add("host.dma_bursts", 1)
+		t.chargeBWRegion(p, rg, t.Params.readBytes(nn))
 		t.Fabric.PostD2H(p, rg.Dev, t.Params.readBytes(nn), func() {
 			rel := oo - rg.Off
 			t.Chips[rg.Dev].HostReadLMB(rg.Tile, oo, e.data[rel:rel+nn])
@@ -957,6 +989,9 @@ func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uin
 		last := o+n >= cmd.Count
 		nn := n
 		t.sink.Add("host.dma_bursts", 1)
+		// Both PCIe directions of the copy bill the requesting tenant;
+		// the shaping delay throttles this channel's burst pipeline.
+		t.chargeBW(p, cmd.SrcDev, cmd.SrcCore, t.Params.readBytes(nn)+nn+t.Params.StreamHeaderBytes)
 		t.Fabric.PostD2H(p, cmd.SrcDev, t.Params.readBytes(nn), func() {
 			data := make([]byte, nn)
 			srcChip.HostReadLMB(srcTile, so, data)

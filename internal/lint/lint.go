@@ -263,6 +263,7 @@ func DefaultAnalyzers() []*Analyzer {
 var modelPackages = []string{
 	"internal/noc", "internal/pcie", "internal/host", "internal/rcce",
 	"internal/ircce", "internal/vscc", "internal/scc", "internal/mem",
+	"internal/sched",
 }
 
 // enginePackages hold the sanctioned concurrency channel itself: the

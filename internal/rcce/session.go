@@ -269,6 +269,19 @@ func (s *Session) Run(program func(*Rank)) error {
 	return driveErr
 }
 
+// Err returns the lowest-rank error recorded by ranks launched with
+// Launch, once the kernel has been driven — the completion status a
+// scheduler reads for a session it launched rank by rank instead of
+// through Run.
+func (s *Session) Err() error {
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sinkFor returns the sink a given device's ranks record into: the
 // per-device sink when one is attached, the session sink otherwise.
 func (s *Session) sinkFor(dev int) *trace.Sink {

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"fmt"
+
+	"vscc/internal/npb"
+	"vscc/internal/rcce"
+)
+
+// buildProgram turns a validated JobSpec into the per-rank program the
+// session launches. It returns an error for malformed specs (unknown
+// kind, rank counts the NPB decompositions cannot take).
+func buildProgram(spec JobSpec) (func(*rcce.Rank), error) {
+	switch spec.Kind {
+	case KindPingPong:
+		if spec.Ranks < 2 {
+			return nil, fmt.Errorf("pingpong needs >= 2 ranks, got %d", spec.Ranks)
+		}
+		return pingpongProgram(spec.size(), spec.reps()), nil
+	case KindTraffic:
+		if spec.Ranks < 2 {
+			return nil, fmt.Errorf("traffic needs >= 2 ranks, got %d", spec.Ranks)
+		}
+		return trafficProgram(spec.size(), spec.reps()), nil
+	case KindBT:
+		class, err := npb.ClassByName(spec.class())
+		if err != nil {
+			return nil, err
+		}
+		d, err := npb.NewDecomp(class.N, spec.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		res := &npb.Result{}
+		return npb.Program(d, npb.Config{Class: class, Iterations: spec.iters(), Timing: true}, res), nil
+	case KindLU:
+		class, err := npb.ClassByName(spec.class())
+		if err != nil {
+			return nil, err
+		}
+		d, err := npb.NewLUDecomp(class.N, spec.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		res := &npb.Result{}
+		return npb.LUProgram(d, npb.Config{Class: class, Iterations: spec.iters(), Timing: true}, res), nil
+	}
+	return nil, fmt.Errorf("unknown job kind %q", spec.Kind)
+}
+
+func (j JobSpec) size() int {
+	if j.Size > 0 {
+		return j.Size
+	}
+	return 1024
+}
+
+func (j JobSpec) reps() int {
+	if j.Reps > 0 {
+		return j.Reps
+	}
+	return 1
+}
+
+func (j JobSpec) class() string {
+	if j.Class != "" {
+		return j.Class
+	}
+	return "S"
+}
+
+func (j JobSpec) iters() int {
+	if j.Iters > 0 {
+		return j.Iters
+	}
+	return 2
+}
+
+// pingpongProgram bounces size bytes between rank pairs (0,1), (2,3),
+// ... for reps round trips. With an odd rank count the last rank idles.
+func pingpongProgram(size, reps int) func(*rcce.Rank) {
+	return func(r *rcce.Rank) {
+		peer := r.ID() ^ 1
+		if peer >= r.N() {
+			return
+		}
+		buf := make([]byte, size)
+		for i := 0; i < reps; i++ {
+			if r.ID()%2 == 0 {
+				must(r.Send(peer, buf))
+				must(r.Recv(peer, buf))
+			} else {
+				must(r.Recv(peer, buf))
+				must(r.Send(peer, buf))
+			}
+		}
+	}
+}
+
+// trafficProgram replays a ring exchange: every rank forwards size
+// bytes to its successor, reps rounds. Rank 0 sends first and receives
+// last, which serializes the ring and avoids a rendezvous deadlock.
+func trafficProgram(size, reps int) func(*rcce.Rank) {
+	return func(r *rcce.Rank) {
+		n := r.N()
+		next, prev := (r.ID()+1)%n, (r.ID()+n-1)%n
+		buf := make([]byte, size)
+		for i := 0; i < reps; i++ {
+			if r.ID() == 0 {
+				must(r.Send(next, buf))
+				must(r.Recv(prev, buf))
+			} else {
+				must(r.Recv(prev, buf))
+				must(r.Send(next, buf))
+			}
+		}
+	}
+}
+
+// must panics a program out of its rank on error; Session.Launch's
+// recovery records it (preserving rcce.ErrDeviceLost identity) as the
+// rank's terminal status.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// TenantTag is the canonical tenant label used across the multi-tenant
+// stack: scheduler tracks, host QoS counters and the vscctrace -tenant
+// filter all agree on this zero-padded form, so per-tenant metrics from
+// different subsystems collate under one name.
+func TenantTag(id int) string {
+	s := strconv.Itoa(id)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return "t" + s
+}
+
+// HasTenantTag reports whether a track or counter name carries the
+// given tenant's tag — either as a whole name (a tenant-owned track)
+// or as a ".tNNN" suffix component of a counter name.
+func HasTenantTag(name string, id int) bool {
+	tag := TenantTag(id)
+	if name == tag {
+		return true
+	}
+	return strings.HasSuffix(name, "."+tag) || strings.Contains(name, "."+tag+".")
+}

@@ -83,6 +83,19 @@ func (s Scheme) Key() string {
 	return "invalid"
 }
 
+// SchemeByKey parses a Key back into a scheme.
+func SchemeByKey(key string) (Scheme, bool) {
+	for _, s := range []Scheme{
+		SchemeRouting, SchemeHostRouted, SchemeHWAccel,
+		SchemeCachedGet, SchemeRemotePut, SchemeVDMA,
+	} {
+		if s.Key() == key {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // ackMode returns the write-acknowledge mode a scheme requires.
 func (s Scheme) ackMode() pcie.AckMode {
 	switch s {
@@ -127,6 +140,12 @@ func (s Scheme) DirectThreshold() int {
 		return 0
 	}
 }
+
+// Compatible reports whether sessions of both schemes can share one
+// fabric: the PCIe acknowledgement mode is a fabric-wide property, so
+// only schemes with the same mode may coexist (NewTenantSession
+// enforces this at admission).
+func (s Scheme) Compatible(other Scheme) bool { return s.ackMode() == other.ackMode() }
 
 // Config describes a vSCC system.
 type Config struct {
@@ -287,13 +306,31 @@ func (s *System) NewSession(n int, opts ...rcce.Option) (*rcce.Session, error) {
 
 // NewSessionAt is NewSession with explicit placements.
 func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.Session, error) {
+	return s.newSessionAt(places, s.Config.Scheme, opts...)
+}
+
+// NewTenantSession builds a session running a per-tenant scheme on the
+// shared fabric. The fabric's write-acknowledge mode is a global
+// hardware property, so only schemes of the system's ack family are
+// admissible: a host-ack fabric (the multi-tenant default) can host
+// host-routed, cached-get, remote-put and vDMA tenants side by side,
+// but not transparent routing or the FPGA fast-ack scheme.
+func (s *System) NewTenantSession(places []rcce.Place, scheme Scheme, opts ...rcce.Option) (*rcce.Session, error) {
+	if scheme.ackMode() != s.Fabric.Ack {
+		return nil, fmt.Errorf("vscc: scheme %s needs ack mode %s, fabric runs %s",
+			scheme.Key(), scheme.ackMode(), s.Fabric.Ack)
+	}
+	return s.newSessionAt(places, scheme, opts...)
+}
+
+func (s *System) newSessionAt(places []rcce.Place, scheme Scheme, opts ...rcce.Option) (*rcce.Session, error) {
 	base := s.Config.OnChipProtocol
 	if base == nil {
 		base = rcce.DefaultProtocol{}
 	}
 	threshold := s.Config.DirectThreshold
 	if threshold == 0 {
-		threshold = s.Config.Scheme.DirectThreshold()
+		threshold = scheme.DirectThreshold()
 	}
 	slot := s.Config.VDMASlotBytes
 	if slot > rcce.PayloadBytes/2 {
@@ -301,7 +338,7 @@ func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.S
 	}
 	proto := &interDeviceProtocol{
 		base:      base,
-		scheme:    s.Config.Scheme,
+		scheme:    scheme,
 		threshold: threshold,
 		slot:      slot,
 		seqs:      make([]pairSeq, len(places)*len(places)),
@@ -316,17 +353,30 @@ func (s *System) NewSessionAt(places []rcce.Place, opts ...rcce.Option) (*rcce.S
 	if err != nil {
 		return nil, err
 	}
-	if err := s.registerRegions(places); err != nil {
+	if err := s.registerRegions(places, scheme.regionMode()); err != nil {
 		return nil, err
 	}
 	return session, nil
+}
+
+// ReleaseRegions tears down the host-task registration of a session's
+// placements — the payload and flag regions of every rank — so a later
+// tenant can reuse the cores with a different scheme. LUT mappings are
+// left installed (they are idempotent and identical for every tenant).
+func (s *System) ReleaseRegions(places []rcce.Place) {
+	for _, pl := range places {
+		tile := scc.CoreTile(pl.Core)
+		base := scc.CoreLMBOffset(pl.Core)
+		s.Task.UnregisterAt(pl.Dev, tile, base)
+		s.Task.UnregisterAt(pl.Dev, tile, base+rcce.PayloadBytes)
+	}
 }
 
 // registerRegions performs the boot-time registration of every rank's
 // communication buffer and flag area with the communication task, and
 // installs the LUT mappings of remote on-chip memory — the paper's §2.1
 // hardware-abstraction-layer extension.
-func (s *System) registerRegions(places []rcce.Place) error {
+func (s *System) registerRegions(places []rcce.Place, mode host.Mode) error {
 	for _, pl := range places {
 		lut := s.Chips[pl.Dev].Cores[pl.Core].LUT
 		for d := range s.Chips {
@@ -338,7 +388,6 @@ func (s *System) registerRegions(places []rcce.Place) error {
 			}
 		}
 	}
-	mode := s.Config.Scheme.regionMode()
 	for _, pl := range places {
 		tile := scc.CoreTile(pl.Core)
 		base := scc.CoreLMBOffset(pl.Core)

@@ -1,0 +1,162 @@
+// Multi-tenant integration: three tenants share one five-device fabric
+// through the internal/sched scheduler, and every per-tenant outcome —
+// job statuses, placements, PCIe bytes, bandwidth-throttle waits, cache
+// evictions — is byte-identical to running that tenant alone on a fresh
+// fabric. Co-location must be invisible in each tenant's own ledger.
+package vscc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vscc/internal/sched"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+	"vscc/internal/vscc"
+)
+
+// mtCacheLines keeps the host cache pool small enough that tenant 3's
+// partition (8 lines) overflows and evicts during its spanning job.
+const mtCacheLines = 64
+
+func mtTenants() []sched.TenantSpec {
+	return []sched.TenantSpec{
+		{ID: 1, CacheLines: 16},
+		{ID: 2, BWBytesPerCycle: 0.05, BurstBytes: 2048, CacheLines: 16},
+		{ID: 3, CacheLines: 8},
+	}
+}
+
+// mtJobs is each tenant's job set. Phase one (submit 0) is small
+// single-device jobs from all three tenants at once — genuinely
+// co-located on device 0 in the shared run. Phase two (submit 600k,
+// long after phase one drains) is one 144-rank spanning job per tenant:
+// head-of-line FIFO admits each onto an empty machine, so its placement
+// — and with it every cross-device byte — matches the solo run exactly.
+func mtJobs() map[int][]sched.JobSpec {
+	return map[int][]sched.JobSpec{
+		1: {
+			{Tenant: 1, Name: "pp-1a", Submit: 0, Kind: sched.KindPingPong, Ranks: 6, Scheme: vscc.SchemeVDMA, Size: 1024, Reps: 3},
+			{Tenant: 1, Name: "ring-1b", Submit: 0, Kind: sched.KindTraffic, Ranks: 4, Scheme: vscc.SchemeCachedGet, Size: 512, Reps: 2},
+			{Tenant: 1, Name: "span-1", Submit: 600000, Kind: sched.KindTraffic, Ranks: 144, Scheme: vscc.SchemeVDMA, Size: 2048, Reps: 1},
+		},
+		2: {
+			{Tenant: 2, Name: "ring-2a", Submit: 0, Kind: sched.KindTraffic, Ranks: 8, Scheme: vscc.SchemeVDMA, Size: 1024, Reps: 2},
+			{Tenant: 2, Name: "pp-2b", Submit: 0, Kind: sched.KindPingPong, Ranks: 4, Scheme: vscc.SchemeRemotePut, Size: 512, Reps: 3},
+			{Tenant: 2, Name: "span-2", Submit: 600000, Kind: sched.KindTraffic, Ranks: 144, Scheme: vscc.SchemeVDMA, Size: 4096, Reps: 1},
+		},
+		3: {
+			{Tenant: 3, Name: "pp-3a", Submit: 0, Kind: sched.KindPingPong, Ranks: 6, Scheme: vscc.SchemeHostRouted, Size: 512, Reps: 2},
+			{Tenant: 3, Name: "ring-3b", Submit: 0, Kind: sched.KindTraffic, Ranks: 4, Scheme: vscc.SchemeVDMA, Size: 768, Reps: 2},
+			{Tenant: 3, Name: "span-3", Submit: 600000, Kind: sched.KindTraffic, Ranks: 144, Scheme: vscc.SchemeCachedGet, Size: 1024, Reps: 1},
+		},
+	}
+}
+
+// runTenantMix executes one schedule on a fresh kernel and fabric and
+// returns the sink and results once every job is terminal.
+func runTenantMix(t *testing.T, tenants []sched.TenantSpec, jobs []sched.JobSpec) (*trace.Sink, []sched.Result) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: 5, Scheme: vscc.SchemeVDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewSink(k)
+	sys.Instrument(sink)
+	s := sched.New(sys, sink, sched.Options{CacheLines: mtCacheLines})
+	for _, ts := range tenants {
+		if err := s.AddTenant(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.AllTerminal() {
+		t.Fatal("jobs left non-terminal after the kernel drained")
+	}
+	return sink, s.Results()
+}
+
+// tenantLedger renders one tenant's view of a run: its jobs in spec
+// order (status and placement, no cycle stamps — wall-clock position on
+// a shared machine is allowed to differ) plus its QoS counters.
+func tenantLedger(sink *trace.Sink, results []sched.Result, id int) string {
+	var b strings.Builder
+	for _, r := range results {
+		if r.Spec.Tenant != id {
+			continue
+		}
+		fmt.Fprintf(&b, "job %s kind=%s ranks=%d scheme=%s devs=%v status=%s leaked=%v\n",
+			r.Spec.Name, r.Spec.Kind, r.Spec.Ranks, r.Spec.Scheme.Key(),
+			r.Devices(), r.Status, r.Leaked)
+	}
+	tag := trace.TenantTag(id)
+	for _, c := range []string{"sched.admit.", "sched.done.", "sched.reject.", "qos.bytes.", "qos.bw_wait.", "host.cache_evict."} {
+		fmt.Fprintf(&b, "%s%s=%d\n", c, tag, sink.CounterValue(c+tag))
+	}
+	return b.String()
+}
+
+// fullLedger is the cycle-stamped whole-run rendering used for the
+// rerun-determinism comparison, where nothing may differ.
+func fullLedger(sink *trace.Sink, results []sched.Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "job %s submit=%d admit=%d done=%d status=%s devs=%v\n",
+			r.Spec.Name, r.Submit, r.Admit, r.Done, r.Status, r.Devices())
+	}
+	b.WriteString(sink.MetricsReport())
+	return b.String()
+}
+
+func TestMultiTenantConcurrentMatchesBackToBack(t *testing.T) {
+	tenants := mtTenants()
+	jobSets := mtJobs()
+	var mixed []sched.JobSpec
+	for id := 1; id <= 3; id++ {
+		mixed = append(mixed, jobSets[id]...)
+	}
+
+	sink, results := runTenantMix(t, tenants, mixed)
+	for _, r := range results {
+		if r.Status != sched.StatusOK {
+			t.Fatalf("shared run: job %q finished %s: %v", r.Spec.Name, r.Status, r.Err)
+		}
+	}
+
+	// Rerunning the shared schedule on a fresh fabric must reproduce
+	// every cycle stamp and counter sample.
+	sink2, results2 := runTenantMix(t, tenants, mixed)
+	if a, b := fullLedger(sink, results), fullLedger(sink2, results2); a != b {
+		t.Fatalf("shared run not deterministic across reruns:\n--- first\n%s--- second\n%s", a, b)
+	}
+
+	// The QoS pressure the mix was built to exercise must be present,
+	// or the back-to-back comparison degenerates to all-zeros.
+	if got := sink.CounterValue("qos.bw_wait.t002"); got == 0 {
+		t.Error("tenant 2's bandwidth cap never throttled its spanning job")
+	}
+	if got := sink.CounterValue("host.cache_evict.t003"); got == 0 {
+		t.Error("tenant 3's cache partition never overflowed")
+	}
+	if got := sink.CounterValue("qos.bw_wait.t001"); got != 0 {
+		t.Errorf("uncapped tenant 1 waited %d cycles on a token bucket", got)
+	}
+
+	// Each tenant alone on a fresh fabric: its ledger must match the
+	// shared run byte for byte.
+	for id := 1; id <= 3; id++ {
+		soloSink, soloResults := runTenantMix(t, tenants, jobSets[id])
+		solo := tenantLedger(soloSink, soloResults, id)
+		shared := tenantLedger(sink, results, id)
+		if solo != shared {
+			t.Errorf("tenant %d ledger differs between shared and solo runs:\n--- shared\n%s--- solo\n%s", id, shared, solo)
+		}
+	}
+}
