@@ -20,8 +20,10 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (kernelclock, goryorder, flagdiscipline,
-# tracealloc, simapi) — see `go run ./cmd/vsccvet -rules` and DESIGN.md.
+# Project-specific analyzers (kernelclock, detorder, goryorder,
+# flagdiscipline, tracealloc, simapi), interprocedural over the module
+# call graph — see `go run ./cmd/vsccvet -rules` and DESIGN.md. CI runs
+# the same suite with -json and archives the report.
 lint:
 	$(GO) run ./cmd/vsccvet ./...
 
@@ -70,6 +72,12 @@ fault:
 	echo "internal/sched coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
 		{ echo "internal/sched coverage below the 80% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover-lint.out ./internal/lint >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-lint.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-lint.out; \
+	echo "internal/lint coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/lint coverage below the 80% floor"; exit 1; }
 
 # Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
 soak:

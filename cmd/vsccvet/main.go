@@ -3,23 +3,34 @@
 // runs the rule suite that machine-checks the paper's non-coherent-MPB
 // programming discipline and the simulator's own invariants:
 //
-//	kernelclock     model packages take time/concurrency from internal/sim only
-//	goryorder       flush before signalling, invalidate after waiting (paper §3.1)
+//	kernelclock     model packages take time/concurrency from internal/sim only,
+//	                checked transitively over the module call graph
+//	detorder        no map iteration whose randomized order can reach
+//	                kernel-clock-visible state or pick a winner
+//	goryorder       flush before signalling, invalidate after waiting
+//	                (paper §3.1), checked across call boundaries
 //	flagdiscipline  raw flag-byte addressing only in protocol extensions
 //	tracealloc      no dynamic trace-label building at unguarded call sites
 //	simapi          no scheduling delays from subtractions that can wrap
 //
 // Usage:
 //
-//	vsccvet [-rules] [packages]
+//	vsccvet [-rules] [-json] [packages]
 //
 // Package patterns are module-relative ("./...", "./internal/scc",
-// "internal/..."); with no pattern the whole module is vetted. Exit
-// status: 0 clean, 1 findings, 2 load or usage error. Findings are
-// suppressed per line with //lint:ignore <rule> <reason>.
+// "internal/..."); with no pattern the whole module is vetted. -json
+// replaces the line-oriented output with a machine-readable report
+// (module, rule suite, findings with call chains, per-rule counts) whose
+// bytes are identical across runs on an unchanged tree. Under GitHub
+// Actions (GITHUB_ACTIONS=true) findings are additionally emitted as
+// ::error workflow annotations. Exit status: 0 clean, 1 findings, 2 load
+// or usage error. Findings are suppressed per line with //lint:ignore
+// <rule> <reason>; a suppression that covers nothing is itself a
+// finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,17 +42,23 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vsccvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(run(cwd, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errw io.Writer) int {
+func run(cwd string, args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("vsccvet", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: vsccvet [-rules] [packages]")
+		fmt.Fprintln(errw, "usage: vsccvet [-rules] [-json] [packages]")
 		fs.PrintDefaults()
 	}
 	listRules := fs.Bool("rules", false, "list the rule suite and exit")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,11 +68,6 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(out, "%-15s %s\n", a.Name, a.Doc)
 		}
 		return 0
-	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintln(errw, "vsccvet:", err)
-		return 2
 	}
 	pr, err := lint.LoadModule(cwd)
 	if err != nil {
@@ -67,18 +79,107 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "vsccvet:", err)
 		return 2
 	}
-	findings := 0
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range lint.RunPackage(pr, pkg, analyzers) {
+		diags = append(diags, lint.RunPackage(pr, pkg, analyzers)...)
+	}
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	if *jsonOut {
+		if err := writeJSON(out, pr, analyzers, diags); err != nil {
+			fmt.Fprintln(errw, "vsccvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Fprintln(out, d)
-			findings++
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(errw, "vsccvet: %d finding(s)\n", findings)
+	if annotate {
+		for _, d := range diags {
+			fmt.Fprintln(errw, annotation(pr, d))
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "vsccvet: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonReport is the -json output. Field order, module-relative slash
+// paths, sorted findings (the driver's order) and map-key-sorted counts
+// make the marshaled bytes identical across runs on an unchanged tree —
+// CI diffs the artifact directly.
+type jsonReport struct {
+	Module   string         `json:"module"`
+	Rules    []jsonRule     `json:"rules"`
+	Findings []jsonFinding  `json:"findings"`
+	Counts   map[string]int `json:"counts"`
+}
+
+type jsonRule struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Chain is the call path of an interprocedural finding, outermost
+	// function first.
+	Chain []string `json:"chain,omitempty"`
+}
+
+func writeJSON(out io.Writer, pr *lint.Program, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
+	rep := jsonReport{
+		Module:   pr.ModulePath,
+		Rules:    make([]jsonRule, 0, len(analyzers)),
+		Findings: make([]jsonFinding, 0, len(diags)),
+		Counts:   map[string]int{},
+	}
+	for _, a := range analyzers {
+		rep.Rules = append(rep.Rules, jsonRule{Name: a.Name, Doc: a.Doc})
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Rule:    d.Rule,
+			File:    relPath(pr, d.Position.Filename),
+			Line:    d.Position.Line,
+			Col:     d.Position.Column,
+			Message: d.Message,
+			Chain:   d.Chain,
+		})
+		rep.Counts[d.Rule]++
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}
+
+// annotation renders one finding as a GitHub Actions workflow command,
+// which the runner turns into an inline PR annotation.
+func annotation(pr *lint.Program, d lint.Diagnostic) string {
+	msg := d.Message
+	if len(d.Chain) > 0 {
+		msg += " [" + lint.FormatChain(d.Chain) + "]"
+	}
+	// Workflow-command data is %-, CR- and LF-escaped.
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=vsccvet/%s::%s",
+		relPath(pr, d.Position.Filename), d.Position.Line, d.Position.Column, d.Rule, esc.Replace(msg))
+}
+
+// relPath rewrites an absolute diagnostic path module-relative with
+// forward slashes, so reports do not leak the checkout directory and
+// stay byte-identical across machines.
+func relPath(pr *lint.Program, file string) string {
+	if rel, err := filepath.Rel(pr.ModuleRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
 }
 
 // selectPackages resolves go-style package patterns relative to cwd

@@ -23,12 +23,28 @@ import (
 	"testing"
 )
 
-// RunAnalyzerTest loads dir as a single fixture package under importPath
-// (the path chooses which Applies filters see it) and diffs the
-// analyzer's diagnostics against the fixture's // want annotations.
-func RunAnalyzerTest(t *testing.T, a *Analyzer, dir, importPath string) {
+// FixtureDep names a dependency package of a multi-package fixture: its
+// testdata directory and the import path it is loaded under. Deps are
+// loaded (and type-checked) before the fixture, so qualified calls into
+// them resolve through the call graph, but they are not analyzed — only
+// the fixture package's // want annotations are diffed.
+type FixtureDep struct {
+	Dir        string
+	ImportPath string
+}
+
+// RunAnalyzerTest loads dir as a fixture package under importPath (the
+// path chooses which Applies filters see it), after loading any deps,
+// and diffs the analyzer's diagnostics against the fixture's // want
+// annotations.
+func RunAnalyzerTest(t *testing.T, a *Analyzer, dir, importPath string, deps ...FixtureDep) {
 	t.Helper()
 	pr := NewProgram()
+	for _, dep := range deps {
+		if _, err := pr.LoadDir(dep.Dir, dep.ImportPath); err != nil {
+			t.Fatalf("loading fixture dep %s: %v", dep.Dir, err)
+		}
+	}
 	pkg, err := pr.LoadDir(dir, importPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
@@ -147,5 +163,6 @@ func (pr *Program) ParseFixtureFile(filename, src, importPath string) (*Package,
 	}
 	pr.pkgs[importPath] = pkg
 	pr.ensureChecked(pkg)
+	pr.cg = nil
 	return pkg, nil
 }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -24,10 +25,23 @@ import (
 // is checked exactly, while branchy code may need a //lint:ignore with a
 // short proof. The runtime MPB consistency checker (scc.Checker, enabled
 // with -check) covers the path-sensitive remainder.
+//
+// The scan is interprocedural: calls into the gory-protocol packages
+// (internal/{rcce,ircce,vscc,scc} and the repository root) splice the
+// callee's effect summary — its ordered sequence of writes, flushes,
+// signals, waits, invalidates and reads, computed bottom-up over the
+// call graph — into the caller's state machine. A helper that signals
+// while the caller's data sits unflushed, or a callee that leaves an
+// unflushed write behind for the caller to signal over, is reported at
+// the call boundary with the offending call chain. Only uniquely
+// resolved calls are spliced (precision over recall: an ambiguous
+// interface dispatch contributes nothing rather than a wrong sequence);
+// violations wholly inside one callee are that callee's own findings
+// and are not re-reported at call sites.
 func GoryOrderAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "goryorder",
-		Doc:  "gory-protocol call sites must flush before signalling and invalidate after waiting",
+		Doc:  "gory-protocol call sites must flush before signalling and invalidate after waiting, across call boundaries",
 		Applies: func(p string) bool {
 			return pkgPathIn(p, goryPackages...) || !strings.Contains(p, "/")
 		},
@@ -66,24 +80,201 @@ var (
 	}
 )
 
+// goryEvent kinds, in the order the state machine consumes them.
+const (
+	evDataWrite = iota
+	evFlagWrite
+	evFlush
+	evInval
+	evDataRead
+	evSignal
+	evWait
+)
+
+// goryEvent is one abstract protocol action in a function's linearized
+// event stream: either a direct primitive call or an action spliced in
+// from a callee's summary.
+type goryEvent struct {
+	kind int
+	// name is the primitive's callee name, for messages.
+	name string
+	// pos/site: pos is where a violation is reported; site identifies
+	// the top-level body node the event came from, so that a setter and
+	// a violator spliced from the SAME call are recognized as callee-
+	// internal (the callee's own scan reports those).
+	pos, site token.Pos
+	// chain names the call path for spliced events (outermost callee
+	// first); nil for direct primitive calls.
+	chain []string
+}
+
+// gorySummaryScope are the packages whose functions get gory-effect
+// summaries; everything else (sim, trace, host plumbing, stats, cmd)
+// never touches the gory primitives and summarizes to nothing. The
+// scope buys precision too: generic method names the event classes
+// share with unrelated code (Get on a cache, Put on a pool) cannot
+// smuggle phantom events in from outside the protocol layers.
+func inGorySummaryScope(pkgPath string) bool {
+	return pkgPathIn(pkgPath, goryPackages...) ||
+		pkgPathIn(pkgPath, "internal/scc") ||
+		!strings.Contains(pkgPath, "/")
+}
+
+// goryEventCap bounds summary sequences; protocol bodies are short, and
+// a truncated tail only costs recall, never precision.
+const goryEventCap = 64
+
+// sumEvent is one entry of a function's gory-effect summary.
+type sumEvent struct {
+	kind  int
+	name  string
+	chain []string // call path from the summarized function down
+}
+
+// GorySummary returns fi's ordered gory-effect sequence, splicing
+// uniquely resolved callees bottom-up. Memoized; recursion contributes
+// nothing (a cycle cannot order effects its members do not already
+// order).
+func (g *CallGraph) GorySummary(fi *FuncInfo) []sumEvent {
+	if s, ok := g.goryMemo[fi]; ok {
+		return s
+	}
+	if g.goryPath[fi] || !inGorySummaryScope(fi.Pkg.Path) {
+		return nil
+	}
+	g.goryPath[fi] = true
+	defer delete(g.goryPath, fi)
+
+	flagOffIdents := collectFlagOffsetIdents(fi.Decl)
+	var out []sumEvent
+	emit := func(kind int, name string, chain []string) {
+		if len(out) < goryEventCap {
+			out = append(out, sumEvent{kind: kind, name: name, chain: chain})
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case goryFlush[name]:
+			emit(evFlush, name, []string{fi.Name})
+		case goryInval[name]:
+			emit(evInval, name, []string{fi.Name})
+		case goryDataWrite[name]:
+			if isFlagWrite(call, flagOffIdents) {
+				emit(evFlagWrite, name, []string{fi.Name})
+			} else {
+				emit(evDataWrite, name, []string{fi.Name})
+			}
+		case gorySignal[name]:
+			emit(evSignal, name, []string{fi.Name})
+		case goryDataRead[name]:
+			emit(evDataRead, name, []string{fi.Name})
+		case goryWait[name]:
+			emit(evWait, name, []string{fi.Name})
+		default:
+			if callees, unique := g.Resolve(fi.Pkg, fi.imports, call); unique {
+				for _, ev := range g.GorySummary(callees[0]) {
+					emit(ev.kind, ev.name, appendChain(fi.Name, ev.chain))
+				}
+			}
+		}
+		return true
+	})
+	g.goryMemo[fi] = out
+	return out
+}
+
 func runGoryOrder(pass *Pass) {
 	for _, f := range pass.Files {
+		imports := importTable(f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkGoryFunc(pass, fd)
+			checkGoryFunc(pass, imports, fd)
 		}
 	}
 }
 
-// checkGoryFunc runs the order state machine over one function body.
-func checkGoryFunc(pass *Pass, fd *ast.FuncDecl) {
-	flagOffIdents := collectFlagOffsetIdents(fd)
+// goryProv records which event set a state bit, for cross-boundary
+// attribution in diagnostics.
+type goryProv struct {
+	site  token.Pos
+	name  string
+	chain []string
+}
 
-	dirtyData := false // an MPB data write is sitting unflushed in the WCB
-	needInval := false // a flag wait happened with no InvalidateMPB since
+func (p *goryProv) describe() string {
+	if len(p.chain) > 0 {
+		return p.name + " via " + FormatChain(p.chain)
+	}
+	return p.name
+}
+
+// checkGoryFunc runs the order state machine over one function's
+// linearized event stream: direct primitive calls in syntactic order,
+// with uniquely resolved callees expanded to their summaries. A
+// violation whose setter and violator came from the same call site is
+// callee-internal and skipped here — the callee's own scan reports it.
+func checkGoryFunc(pass *Pass, imports map[string]string, fd *ast.FuncDecl) {
+	flagOffIdents := collectFlagOffsetIdents(fd)
+	cg := pass.CallGraph()
+
+	var dirty *goryProv // an MPB data write sitting unflushed in the WCB
+	var await *goryProv // a flag wait happened with no InvalidateMPB since
+	step := func(ev goryEvent) {
+		switch ev.kind {
+		case evFlush:
+			dirty = nil
+		case evInval:
+			await = nil
+		case evDataWrite:
+			dirty = &goryProv{site: ev.site, name: ev.name, chain: ev.chain}
+		case evFlagWrite:
+			// A raw flag-byte store is a signal: combined data must
+			// already be flushed. The flag byte itself then sits in the
+			// WCB until the next flush; it is not data, so dirty stays.
+			if dirty != nil && dirty.site != ev.site {
+				if len(ev.chain) > 0 || len(dirty.chain) > 0 {
+					pass.ReportChain(ev.pos, violationChain(ev, dirty),
+						"flag byte written (%s) before FlushWCB of the preceding MPB data write (%s) (paper §3.1: flush write-combined data before signalling)",
+						eventDesc(ev), dirty.describe())
+				} else {
+					pass.Reportf(ev.pos, "flag byte written before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)")
+				}
+			}
+		case evSignal:
+			if dirty != nil && dirty.site != ev.site {
+				if len(ev.chain) > 0 || len(dirty.chain) > 0 {
+					pass.ReportChain(ev.pos, violationChain(ev, dirty),
+						"%s before FlushWCB of the preceding MPB data write (%s) (paper §3.1: flush write-combined data before signalling)",
+						eventDesc(ev), dirty.describe())
+				} else {
+					pass.Reportf(ev.pos, "%s before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)", ev.name)
+				}
+				dirty = nil // one report per unflushed write
+			}
+		case evDataRead:
+			if await != nil && await.site != ev.site {
+				if len(ev.chain) > 0 || len(await.chain) > 0 {
+					pass.ReportChain(ev.pos, violationChain(ev, await),
+						"MPB read (%s) after a flag wait (%s) without InvalidateMPB: the L1 may serve stale MPBT lines (paper §3.1: invalidate before the remote get)",
+						eventDesc(ev), await.describe())
+				} else {
+					pass.Reportf(ev.pos, "MPB read after a flag wait without InvalidateMPB: the L1 may serve stale MPBT lines (paper §3.1: invalidate before the remote get)")
+				}
+				await = nil // one report per missing invalidate
+			}
+		case evWait:
+			await = &goryProv{site: ev.site, name: ev.name, chain: ev.chain}
+		}
+	}
+
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -92,36 +283,49 @@ func checkGoryFunc(pass *Pass, fd *ast.FuncDecl) {
 		name := calleeName(call)
 		switch {
 		case goryFlush[name]:
-			dirtyData = false
+			step(goryEvent{kind: evFlush, name: name, pos: call.Pos(), site: call.Pos()})
 		case goryInval[name]:
-			needInval = false
+			step(goryEvent{kind: evInval, name: name, pos: call.Pos(), site: call.Pos()})
 		case goryDataWrite[name]:
+			kind := evDataWrite
 			if isFlagWrite(call, flagOffIdents) {
-				// A raw flag-byte store is a signal: combined data must
-				// already be flushed.
-				if dirtyData {
-					pass.Reportf(call.Pos(), "flag byte written before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)")
-				}
-				// The flag byte itself now sits in the WCB until the next
-				// flush; it is not data, so dirtyData stays as-is.
-			} else {
-				dirtyData = true
+				kind = evFlagWrite
 			}
+			step(goryEvent{kind: kind, name: name, pos: call.Pos(), site: call.Pos()})
 		case gorySignal[name]:
-			if dirtyData {
-				pass.Reportf(call.Pos(), "%s before FlushWCB of the preceding MPB data write (paper §3.1: flush write-combined data before signalling)", name)
-				dirtyData = false // one report per unflushed write
-			}
+			step(goryEvent{kind: evSignal, name: name, pos: call.Pos(), site: call.Pos()})
 		case goryDataRead[name]:
-			if needInval {
-				pass.Reportf(call.Pos(), "MPB read after a flag wait without InvalidateMPB: the L1 may serve stale MPBT lines (paper §3.1: invalidate before the remote get)")
-				needInval = false // one report per missing invalidate
-			}
+			step(goryEvent{kind: evDataRead, name: name, pos: call.Pos(), site: call.Pos()})
 		case goryWait[name]:
-			needInval = true
+			step(goryEvent{kind: evWait, name: name, pos: call.Pos(), site: call.Pos()})
+		default:
+			callees, unique := cg.Resolve(pass.Pkg, imports, call)
+			if !unique {
+				return true
+			}
+			for _, ev := range cg.GorySummary(callees[0]) {
+				step(goryEvent{kind: ev.kind, name: ev.name, pos: call.Pos(), site: call.Pos(), chain: ev.chain})
+			}
 		}
 		return true
 	})
+}
+
+// eventDesc names a (possibly spliced) event for a diagnostic.
+func eventDesc(ev goryEvent) string {
+	if len(ev.chain) > 0 {
+		return ev.name + " via " + FormatChain(ev.chain)
+	}
+	return ev.name
+}
+
+// violationChain picks the machine-readable chain for a cross-boundary
+// violation: the violator's chain when it is spliced, else the setter's.
+func violationChain(ev goryEvent, set *goryProv) []string {
+	if len(ev.chain) > 0 {
+		return ev.chain
+	}
+	return set.chain
 }
 
 // collectFlagOffsetIdents finds local identifiers assigned from

@@ -23,6 +23,19 @@ import (
 //
 // Test files are exempt — tests may legitimately use wall-clock
 // timeouts and goroutines to drive the simulator from outside.
+//
+// Beyond the direct scan, the rule is transitive: a call from a model
+// package into any module function — however many helper hops or
+// interface dispatches away — that reaches a wall-clock read, a
+// math/rand use, or raw concurrency outside the sanctioned engine
+// infrastructure (internal/sim, internal/trace, internal/harness) is
+// reported at the model-package call site, with the offending call
+// chain in the diagnostic. Callees inside the audited packages are not
+// re-reported at call sites: the direct scan already flags them at the
+// definition, and their own outgoing escapes are flagged at their own
+// call sites. Interface dispatch is over-approximated by name and
+// arity (see callgraph.go), so an infeasible chain is suppressible
+// with a proof.
 func KernelClockAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "kernelclock",
@@ -72,6 +85,8 @@ func runKernelClock(pass *Pass) {
 				if id, ok := n.X.(*ast.Ident); ok && imports[id.Name] == "time" && forbiddenTimeFuncs[n.Sel.Name] {
 					pass.Reportf(n.Pos(), "time.%s: simulated time is the kernel clock (sim.Proc.Delay / Kernel.Now), never the wall clock", n.Sel.Name)
 				}
+			case *ast.CallExpr:
+				checkTransitiveClock(pass, imports, n)
 			case *ast.GoStmt:
 				if !engine {
 					pass.Reportf(n.Pos(), "raw goroutine in a model package: spawn simulated processes with sim.Kernel.Spawn/SpawnDaemon so the kernel serializes execution deterministically")
@@ -95,6 +110,33 @@ func runKernelClock(pass *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkTransitiveClock reports a call site whose resolved callee —
+// outside the directly audited packages — transitively reaches the wall
+// clock, math/rand, or unsanctioned raw concurrency. One report per
+// call site, first witnessing candidate wins (candidate order is
+// deterministic).
+func checkTransitiveClock(pass *Pass, imports map[string]string, call *ast.CallExpr) {
+	cg := pass.CallGraph()
+	callees, _ := cg.Resolve(pass.Pkg, imports, call)
+	for _, c := range callees {
+		if pkgPathIn(c.Pkg.Path, modelPackages...) || pkgPathIn(c.Pkg.Path, enginePackages...) {
+			continue // audited directly; escapes flagged at its own sites
+		}
+		w := cg.ClockWitness(c)
+		if w == nil {
+			continue
+		}
+		if w.Concurrency {
+			pass.ReportChain(call.Pos(), w.Chain,
+				"call reaches raw concurrency (%s) outside the engine: %s; route the interleaving through internal/sim so reruns stay byte-identical", w.What, FormatChain(w.Chain))
+		} else {
+			pass.ReportChain(call.Pos(), w.Chain,
+				"call reaches %s: %s; simulated time and randomness must come from the kernel clock and seeded sources", w.What, FormatChain(w.Chain))
+		}
+		return
 	}
 }
 

@@ -30,6 +30,9 @@ type Diagnostic struct {
 	Rule     string
 	Position token.Position
 	Message  string
+	// Chain is the call chain reaching the offending construct, for
+	// interprocedural findings (outermost first). Empty for local ones.
+	Chain []string
 }
 
 // String formats a diagnostic as path:line:col: rule: message.
@@ -41,19 +44,32 @@ func (d Diagnostic) String() string {
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	// Prog is the whole loaded program, for interprocedural analyzers
+	// that need the module-wide call graph.
+	Prog *Program
 	// Files is what the analyzer walks: build files plus test files.
 	Files []*ast.File
 	// Info is the best-effort type information for the build files; test
 	// file nodes are not present, so lookups must tolerate misses.
 	Info *types.Info
 
-	report func(pos token.Pos, msg string)
+	report func(pos token.Pos, msg string, chain []string)
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	p.report(pos, fmt.Sprintf(format, args...))
+	p.report(pos, fmt.Sprintf(format, args...), nil)
 }
+
+// ReportChain records a diagnostic carrying the call chain that reaches
+// the offending construct; the chain also lands in the -json output.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...), chain)
+}
+
+// CallGraph returns the module-wide call graph, built lazily on first
+// use and shared by every interprocedural analyzer of the run.
+func (p *Pass) CallGraph() *CallGraph { return p.Prog.CallGraph() }
 
 // IsTestFile reports whether the file containing pos is a _test.go file.
 func (p *Pass) IsTestFile(pos token.Pos) bool {
@@ -84,30 +100,36 @@ func Run(pr *Program, analyzers []*Analyzer) []Diagnostic {
 }
 
 // RunPackage applies the analyzers (honoring Applies) to one package.
+// Suppressions that cover no finding of any rule that ran are reported
+// as diagnostics themselves — a stale //lint:ignore hides future bugs.
 func RunPackage(pr *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	sup := collectSuppressions(pr.Fset, pkg)
 	diags = append(diags, sup.malformed...)
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.Path) {
 			continue
 		}
+		ran[a.Name] = true
 		rule := a.Name
 		pass := &Pass{
 			Fset:  pr.Fset,
 			Pkg:   pkg,
+			Prog:  pr,
 			Files: pkg.AllFiles(),
 			Info:  pkg.Info,
-			report: func(pos token.Pos, msg string) {
+			report: func(pos token.Pos, msg string, chain []string) {
 				position := pr.Fset.Position(pos)
 				if sup.suppressed(rule, position) {
 					return
 				}
-				diags = append(diags, Diagnostic{Rule: rule, Position: position, Message: msg})
+				diags = append(diags, Diagnostic{Rule: rule, Position: position, Message: msg, Chain: chain})
 			},
 		}
 		a.Run(pass)
 	}
+	diags = append(diags, sup.unused(ran)...)
 	sortDiagnostics(diags)
 	return diags
 }
@@ -128,10 +150,19 @@ func sortDiagnostics(diags []Diagnostic) {
 	})
 }
 
+// supEntry is one //lint:ignore comment: its position, the rules it
+// names, and whether it has suppressed any finding this run.
+type supEntry struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
+
 // suppressions indexes //lint:ignore comments by (file, line).
 type suppressions struct {
-	// byLine maps file -> line -> suppressed rule names.
-	byLine    map[string]map[int][]string
+	// byLine maps file -> comment line -> entries on that line.
+	byLine    map[string]map[int][]*supEntry
+	entries   []*supEntry // in scan order, for the unused report
 	malformed []Diagnostic
 }
 
@@ -139,7 +170,7 @@ const ignorePrefix = "//lint:ignore"
 
 // collectSuppressions scans every comment of the package.
 func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
-	s := &suppressions{byLine: map[string]map[int][]string{}}
+	s := &suppressions{byLine: map[string]map[int][]*supEntry{}}
 	for _, f := range pkg.AllFiles() {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -157,14 +188,14 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
 					})
 					continue
 				}
+				e := &supEntry{pos: pos, rules: strings.Split(fields[0], ",")}
 				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int][]string{}
+					lines = map[int][]*supEntry{}
 					s.byLine[pos.Filename] = lines
 				}
-				for _, rule := range strings.Split(fields[0], ",") {
-					lines[pos.Line] = append(lines[pos.Line], rule)
-				}
+				lines[pos.Line] = append(lines[pos.Line], e)
+				s.entries = append(s.entries, e)
 			}
 		}
 	}
@@ -172,20 +203,56 @@ func collectSuppressions(fset *token.FileSet, pkg *Package) *suppressions {
 }
 
 // suppressed reports whether a rule finding at position is covered by a
-// suppression on the same line or the line directly above.
+// suppression on the same line or the line directly above, marking the
+// covering entry used.
 func (s *suppressions) suppressed(rule string, pos token.Position) bool {
 	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range lines[l] {
-			if r == rule || r == "all" {
-				return true
+		for _, e := range lines[l] {
+			for _, r := range e.rules {
+				if r == rule || r == "all" {
+					e.used = true
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// unused reports the suppression comments that covered no finding. A
+// comment is only reportable when every rule it names actually ran on
+// this package (ran holds the Applies-filtered analyzer names) — a
+// suppression for a rule outside this run might be load-bearing for a
+// different tool or invocation. "all" counts as ran when any rule did.
+func (s *suppressions) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		covered := true
+		for _, r := range e.rules {
+			if r == "all" {
+				covered = covered && len(ran) > 0
+			} else {
+				covered = covered && ran[r]
+			}
+		}
+		if !covered {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Rule:     "lint",
+			Position: e.pos,
+			Message: fmt.Sprintf("unused suppression for %s: no finding on this or the next line; delete the stale //lint:ignore",
+				strings.Join(e.rules, ",")),
+		})
+	}
+	return out
 }
 
 // --- shared analyzer helpers ---------------------------------------------
@@ -242,6 +309,8 @@ func pkgPathIn(pkgPath string, suffixes ...string) bool {
 //     concurrency must flow through internal/sim, plus internal/sim
 //     itself in a relaxed mode (real concurrency sanctioned, wall
 //     clock still banned),
+//   - detorder audits the same set for map iterations whose randomized
+//     order can reach kernel-clock-visible state or pick a winner,
 //   - goryorder audits the gory-protocol packages plus the repository
 //     root (whose integration tests exercise raw protocols),
 //   - faultorder audits the inter-device protocol layers (vscc, ircce),
@@ -250,6 +319,7 @@ func pkgPathIn(pkgPath string, suffixes ...string) bool {
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		KernelClockAnalyzer(),
+		DetOrderAnalyzer(),
 		GoryOrderAnalyzer(),
 		FaultOrderAnalyzer(),
 		FlagDisciplineAnalyzer(),

@@ -15,19 +15,25 @@ func TestAnalyzersGolden(t *testing.T) {
 		analyzer   *Analyzer
 		dir        string
 		importPath string
+		deps       []FixtureDep
 	}{
-		{KernelClockAnalyzer(), "kernelclock", "vscc/internal/noc"},
-		{KernelClockAnalyzer(), "kernelclock_engine", "vscc/internal/sim"},
-		{GoryOrderAnalyzer(), "goryorder", "vscc/internal/rcce"},
-		{FaultOrderAnalyzer(), "faultorder", "vscc/internal/vscc"},
-		{FlagDisciplineAnalyzer(), "flagdiscipline", "fixture/flagdiscipline"},
-		{FlagDisciplineAnalyzer(), "flagdiscipline_ext", "vscc/internal/ircce"},
-		{TraceAllocAnalyzer(), "tracealloc", "fixture/tracealloc"},
-		{SimAPIAnalyzer(), "simapi", "fixture/simapi"},
+		{KernelClockAnalyzer(), "kernelclock", "vscc/internal/noc", nil},
+		{KernelClockAnalyzer(), "kernelclock_engine", "vscc/internal/sim", nil},
+		{KernelClockAnalyzer(), "kernelclock_ipa", "vscc/internal/noc", []FixtureDep{
+			{filepath.Join("testdata", "src", "kernelclock_ipa_util"), "vscc/internal/util"},
+		}},
+		{DetOrderAnalyzer(), "detorder", "vscc/internal/noc", nil},
+		{GoryOrderAnalyzer(), "goryorder", "vscc/internal/rcce", nil},
+		{GoryOrderAnalyzer(), "goryorder_ipa", "vscc/internal/vscc", nil},
+		{FaultOrderAnalyzer(), "faultorder", "vscc/internal/vscc", nil},
+		{FlagDisciplineAnalyzer(), "flagdiscipline", "fixture/flagdiscipline", nil},
+		{FlagDisciplineAnalyzer(), "flagdiscipline_ext", "vscc/internal/ircce", nil},
+		{TraceAllocAnalyzer(), "tracealloc", "fixture/tracealloc", nil},
+		{SimAPIAnalyzer(), "simapi", "fixture/simapi", nil},
 	}
 	for _, tt := range tests {
 		t.Run(tt.dir, func(t *testing.T) {
-			RunAnalyzerTest(t, tt.analyzer, filepath.Join("testdata", "src", tt.dir), tt.importPath)
+			RunAnalyzerTest(t, tt.analyzer, filepath.Join("testdata", "src", tt.dir), tt.importPath, tt.deps...)
 		})
 	}
 }
@@ -81,6 +87,72 @@ func f(x c, a, b uint64) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("diag %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUnusedSuppression pins the stale-suppression report: a
+// //lint:ignore covering no finding of a rule that ran is itself a
+// finding, while a suppression naming a rule outside the run is left
+// alone (it may be load-bearing for another tool or invocation).
+func TestUnusedSuppression(t *testing.T) {
+	const src = `package p
+
+type c struct{}
+
+func (c) Delay(d uint64) {}
+
+func f(x c, a, b uint64) {
+	//lint:ignore simapi stale proof left behind by a refactor
+	x.Delay(a + b)
+	//lint:ignore othertool not vsccvet's rule, must survive
+	x.Delay(a + b)
+}
+`
+	pr := NewProgram()
+	pkg, err := pr.ParseFixtureFile("unused.go", src, "fixture/unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pr, pkg, []*Analyzer{SimAPIAnalyzer()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly the unused-suppression report", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Rule != "lint" || d.Position.Line != 8 || !strings.Contains(d.Message, "unused suppression for simapi") {
+		t.Errorf("got %s, want lint: unused suppression for simapi at line 8", d)
+	}
+}
+
+// TestDiagnosticChain pins that interprocedural findings carry the call
+// chain as structured data (the -json contract), not only inside the
+// message text.
+func TestDiagnosticChain(t *testing.T) {
+	pr := NewProgram()
+	if _, err := pr.LoadDir(filepath.Join("testdata", "src", "kernelclock_ipa_util"), "vscc/internal/util"); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := pr.LoadDir(filepath.Join("testdata", "src", "kernelclock_ipa"), "vscc/internal/noc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pr, pkg, []*Analyzer{KernelClockAnalyzer()})
+	var deep *Diagnostic
+	for i, d := range diags {
+		if strings.Contains(d.Message, "util.Stamp2") {
+			deep = &diags[i]
+		}
+	}
+	if deep == nil {
+		t.Fatalf("no diagnostic through util.Stamp2 in %v", diags)
+	}
+	want := []string{"util.Stamp2", "util.stampIndirect", "util.SlowStamp"}
+	if len(deep.Chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", deep.Chain, want)
+	}
+	for i := range want {
+		if deep.Chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", deep.Chain, want)
 		}
 	}
 }

@@ -58,6 +58,18 @@ type Program struct {
 	stubs map[string]*types.Package
 
 	checking map[string]bool // import-cycle guard during type checking
+
+	cg *CallGraph // lazily built; invalidated when packages are added
+}
+
+// CallGraph returns the module-wide call graph, building it on first
+// use. LoadDir invalidates it, so fixture packages loaded later are
+// always indexed.
+func (pr *Program) CallGraph() *CallGraph {
+	if pr.cg == nil {
+		pr.cg = NewCallGraph(pr)
+	}
+	return pr.cg
 }
 
 // Packages returns all loaded packages in import-path order.
@@ -186,6 +198,7 @@ func (pr *Program) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	pr.pkgs[importPath] = pkg
 	pr.ensureChecked(pkg)
+	pr.cg = nil
 	return pkg, nil
 }
 

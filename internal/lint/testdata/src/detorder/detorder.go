@@ -1,0 +1,79 @@
+// Fixture for the detorder rule: map iteration whose randomized order
+// can pick a winner (early exit) or reach kernel-clock-visible state
+// (directly or through the call graph) is a finding; the collect-sort-
+// range idiom and pure-accumulation bodies stay clean.
+package detorder
+
+type kernel struct{}
+
+func (kernel) Post(ev int)  {}
+func (kernel) Now() uint64  { return 0 }
+func (kernel) Lookup(k int) {}
+func (q *queue) Push(v int) {}
+func (q *queue) Len() int   { return 0 }
+
+type queue struct{}
+
+// emit reaches a kernel-visible effect one hop away: the call graph must
+// carry Push through it.
+func emit(q *queue, v int) {
+	q.Push(v)
+}
+
+// tally is pure accumulation — no effect, no exit.
+func tally(acc *int, v int) {
+	*acc += v
+}
+
+func earlyExitPick(m map[int]int, lim int) int {
+	for k, v := range m { // want "map iteration with an early exit"
+		if v >= lim {
+			return k
+		}
+	}
+	return -1
+}
+
+func directEffect(k kernel, m map[int]int) {
+	for _, v := range m { // want "map iteration body performs event posting via Post"
+		k.Post(v)
+	}
+}
+
+func transitiveEffect(q *queue, m map[int]int) {
+	for _, v := range m { // want "map iteration body reaches Push .queue push. through noc.emit"
+		emit(q, v)
+	}
+}
+
+func cleanCollectSort(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // clean: body only appends to a local
+		keys = append(keys, k)
+	}
+	// (sorting and the effectful loop over the slice happen here)
+	return keys
+}
+
+func cleanAccumulate(m map[int]int) int {
+	var sum int
+	for _, v := range m { // clean: transitive callee is pure
+		tally(&sum, v)
+	}
+	return sum
+}
+
+func cleanDeleteOnly(m map[int]int) {
+	for k, v := range m { // clean: delete is a builtin, not an effect
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func provenInsensitive(k kernel, m map[int]int) {
+	//lint:ignore detorder proof: the posted events carry the key and are re-sorted by the kernel before dispatch
+	for key := range m {
+		k.Post(key)
+	}
+}

@@ -2,6 +2,7 @@ package rcce
 
 import (
 	"fmt"
+	"sort"
 
 	"vscc/internal/mem"
 	"vscc/internal/scc"
@@ -193,9 +194,18 @@ func (r *Rank) MallocMPB(size int) (int, error) {
 		return 0, fmt.Errorf("rcce: malloc of %d bytes", size)
 	}
 	size = (size + mem.LineSize - 1) &^ (mem.LineSize - 1)
-	// First fit in the free list.
-	for off, n := range r.freeSpans {
-		if n >= size {
+	// First fit in the free list, scanned in ascending offset order:
+	// freeSpans is a map, and ranging it directly would let Go's
+	// randomized iteration pick WHICH span satisfies the request — the
+	// returned offset, and with it every subsequent MPB image, would
+	// differ between byte-identical reruns (detorder's early-exit case).
+	offs := make([]int, 0, len(r.freeSpans))
+	for off := range r.freeSpans {
+		offs = append(offs, off)
+	}
+	sort.Ints(offs)
+	for _, off := range offs {
+		if n := r.freeSpans[off]; n >= size {
 			delete(r.freeSpans, off)
 			if n > size {
 				r.freeSpans[off+size] = n - size
