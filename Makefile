@@ -39,10 +39,12 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Real kernel-throughput measurement (see BENCH_kernel.json), including
-# the PDES engine's cross-kernel rate and BT wall-clock.
+# the PDES engine's cross-kernel rate, BT wall-clock and the task
+# runtime's workload wall-clock.
 bench-kernel:
 	$(GO) test ./internal/sim -run='^$$' -bench='KernelEventThroughput|PDESThroughput' -benchmem
 	$(GO) test -run='^$$' -bench=PDESBT -benchtime=2x .
+	$(GO) test ./internal/taskrt -run='^$$' -bench=TaskrtWorkloads -benchmem
 	$(GO) run ./cmd/simbench
 
 # Fault-injection gate: injector unit tests, the fault matrix, the
@@ -78,6 +80,12 @@ fault:
 	echo "internal/lint coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
 		{ echo "internal/lint coverage below the 80% floor"; exit 1; }
+	@$(GO) test -coverprofile=cover-taskrt.out ./internal/taskrt >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-taskrt.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-taskrt.out; \
+	echo "internal/taskrt coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/taskrt coverage below the 80% floor"; exit 1; }
 
 # Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
 soak:

@@ -44,6 +44,9 @@ type baseline struct {
 	// The pdes section has the same mixed shape; its two float maps map
 	// onto BenchmarkPDESThroughput and BenchmarkPDESBT cases.
 	PDES map[string]json.RawMessage `json:"pdes"`
+	// The taskrt section's wall_clock map maps onto
+	// BenchmarkTaskrtWorkloads cases.
+	Taskrt map[string]json.RawMessage `json:"taskrt"`
 }
 
 // result is one parsed benchmark line.
@@ -169,6 +172,14 @@ func loadBaseline(path string) (map[string]float64, error) {
 		}
 		for c, ns := range m {
 			want[prefix+c] = ns
+		}
+	}
+	if rawEntry, ok := base.Taskrt["wall_clock"]; ok {
+		var m map[string]float64
+		if json.Unmarshal(rawEntry, &m) == nil {
+			for c, ns := range m {
+				want["TaskrtWorkloads/"+c] = ns
+			}
 		}
 	}
 	return want, nil

@@ -10,6 +10,7 @@ import (
 	"vscc/internal/fault"
 	"vscc/internal/rcce"
 	"vscc/internal/sim"
+	"vscc/internal/taskrt"
 	"vscc/internal/vscc"
 )
 
@@ -306,5 +307,69 @@ func TestFaultToleranceArmedButIdle(t *testing.T) {
 		if n := len(sys.Injector.Events()); n != 0 {
 			t.Errorf("%v: idle schedule recorded %d events", scheme, n)
 		}
+	}
+}
+
+// TestFaultToleranceTaskrtDevCrash points the fault layer at the task
+// runtime's irregular traffic: the Cholesky workload — dependence-driven
+// steals and region movement rather than a fixed SPMD exchange — must
+// survive a mid-run device crash with transparent retry, finish with
+// regions byte-identical to the pure-Go serial reference, and rerun to
+// the identical cycle and event ledger.
+func TestFaultToleranceTaskrtDevCrash(t *testing.T) {
+	ref := taskrt.New(taskrt.Config{})
+	if err := taskrt.Build(ref, "cholesky", 3, 0, 4); err != nil {
+		t.Fatalf("Build(ref): %v", err)
+	}
+	if err := ref.RunSerial(4); err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	run := func() (*taskrt.Runtime, *vscc.System, sim.Cycles) {
+		cfg := &fault.Config{
+			Seed:         21,
+			DevCrashAt:   []fault.DeviceFault{{At: 120_000, Dev: 1, Down: 180_000}},
+			CkptInterval: 40_000,
+			Recovery:     fault.Recovery{DeviceRetry: true},
+		}
+		k := sim.NewKernel()
+		sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: vscc.SchemeVDMA, Faults: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		session, err := sys.NewSessionAt([]rcce.Place{
+			{Dev: 0, Core: 0}, {Dev: 1, Core: 0}, {Dev: 0, Core: 1}, {Dev: 1, Core: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := taskrt.New(taskrt.Config{Scheme: vscc.SchemeVDMA})
+		if err := taskrt.Build(rt, "cholesky", 3, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(session); err != nil {
+			t.Fatalf("taskrt run did not survive the device crash: %v", err)
+		}
+		return rt, sys, k.Now()
+	}
+	rt, sys, end := run()
+	if got := rt.StateHash(); got != ref.StateHash() {
+		t.Error("cholesky under devcrash diverged from the serial reference")
+	}
+	if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+		t.Errorf("inject.devcrash = %d, want 1", got)
+	}
+	if got := sys.Injector.Stat("recover.rejoin"); got != 1 {
+		t.Errorf("recover.rejoin = %d, want 1", got)
+	}
+	sum := sys.Injector.Summary()
+	rt2, sys2, end2 := run()
+	if end2 != end {
+		t.Errorf("rerun finished at cycle %d, first run at %d", end2, end)
+	}
+	if sum2 := sys2.Injector.Summary(); sum2 != sum {
+		t.Errorf("rerun event summary differs:\nfirst:\n%s\nrerun:\n%s", sum, sum2)
+	}
+	if rt2.StateHash() != rt.StateHash() {
+		t.Error("rerun region state differs")
 	}
 }

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"vscc/internal/vscc"
+)
+
+// The taskrt fault soak: a long seeded drop/dup/delay schedule over the
+// task runtime's three workloads on every inter-device scheme. Unlike
+// the ping-pong soak, the traffic here is irregular — dependence-driven
+// argument movement, steals and doorbells — so the retransmit and
+// dedup machinery is exercised on exactly the access pattern the SPMD
+// soak cannot produce. `-short` runs a 1x schedule (wired into `make
+// fault` and the CI fault job); the full schedule scales the workloads
+// up (`make soak`).
+
+// taskrtSoakSpec keeps the same low-rate/many-events philosophy as
+// soakSpec; no stall windows so every scheme's end cycle reflects only
+// the traffic-level faults.
+const taskrtSoakSpec = "seed=77,drop=40,dup=25,delay=25:2000"
+
+// taskrtSoakGrid is the workload × scheme grid.
+func taskrtSoakGrid() []TaskrtConfig {
+	var grid []TaskrtConfig
+	for _, wl := range []string{"cholesky", "stencil", "kv"} {
+		for _, s := range []vscc.Scheme{vscc.SchemeHostRouted, vscc.SchemeCachedGet, vscc.SchemeRemotePut, vscc.SchemeVDMA} {
+			grid = append(grid, TaskrtConfig{Workload: wl, Scheme: s})
+		}
+	}
+	return grid
+}
+
+// taskrtSoakSweep runs the grid at the given scale factor and returns
+// one digest per point.
+func taskrtSoakSweep(scale int) ([]string, error) {
+	return mapPoints(taskrtSoakGrid(), func(cfg TaskrtConfig) (string, error) {
+		cfg.Size = 3 + scale
+		cfg.Iters = 4 * (1 + scale)
+		cfg.Replicas = 1
+		pts, err := TaskrtSweep(cfg)
+		if err != nil {
+			return "", err
+		}
+		return pts[0].String() + "\n", nil
+	})
+}
+
+// TestFaultSoakTaskrt soaks the task runtime under the seeded schedule:
+// serial and 4-way parallel sweeps must produce byte-identical digests,
+// every point must both inject faults and steal at least once, and each
+// workload's hash must match its fault-free value (computed by a clean
+// sweep of the same grid).
+func TestFaultSoakTaskrt(t *testing.T) {
+	scale := 3
+	if testing.Short() {
+		scale = 0
+	}
+	// Fault-free reference hashes first.
+	if err := SetFaultSpec(""); err != nil {
+		t.Fatal(err)
+	}
+	var clean []string
+	withParallelism(t, 4, func() {
+		var err error
+		clean, err = taskrtSoakSweep(scale)
+		if err != nil {
+			t.Fatalf("clean sweep: %v", err)
+		}
+	})
+
+	if err := SetFaultSpec(taskrtSoakSpec); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetFaultSpec(""); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var serial, parallel []string
+	withParallelism(t, 1, func() {
+		var err error
+		serial, err = taskrtSoakSweep(scale)
+		if err != nil {
+			t.Fatalf("serial soak: %v", err)
+		}
+	})
+	withParallelism(t, 4, func() {
+		var err error
+		parallel, err = taskrtSoakSweep(scale)
+		if err != nil {
+			t.Fatalf("parallel soak: %v", err)
+		}
+	})
+	if strings.Join(serial, "") != strings.Join(parallel, "") {
+		t.Errorf("parallel taskrt soak diverged from serial:\nserial:\n%s\nparallel:\n%s",
+			strings.Join(serial, ""), strings.Join(parallel, ""))
+	}
+	var sawInject, sawSteal bool
+	for i, digest := range serial {
+		if strings.Contains(digest, "inject.") {
+			sawInject = true
+		}
+		if !strings.Contains(digest, "steals=0") {
+			sawSteal = true
+		}
+		// The faulted run must deliver the same region bytes as the
+		// clean run: compare the hash= field against the clean digest.
+		cleanHash := hashField(clean[i])
+		if got := hashField(digest); got != cleanHash {
+			t.Errorf("point %d: faulted hash %s, clean hash %s\n%s", i, got, cleanHash, digest)
+		}
+	}
+	if !sawInject {
+		t.Error("no soak point saw an injected fault")
+	}
+	if !sawSteal {
+		t.Error("no soak point stole a task; the soak never exercised stealing")
+	}
+}
+
+// hashField extracts the hash=... token of a taskrt point line.
+func hashField(line string) string {
+	if i := strings.Index(line, "hash="); i >= 0 {
+		return strings.Fields(line[i:])[0]
+	}
+	return ""
+}

@@ -333,7 +333,7 @@ func DefaultAnalyzers() []*Analyzer {
 var modelPackages = []string{
 	"internal/noc", "internal/pcie", "internal/host", "internal/rcce",
 	"internal/ircce", "internal/vscc", "internal/scc", "internal/mem",
-	"internal/sched",
+	"internal/sched", "internal/taskrt",
 }
 
 // enginePackages hold the sanctioned concurrency channel itself: the

@@ -1,0 +1,32 @@
+package taskrt
+
+import (
+	"testing"
+
+	"vscc/internal/vscc"
+)
+
+// BenchmarkTaskrtWorkloads measures one full run of each workload —
+// graph construction, the simulated execution with stealing and
+// argument movement, and the state hash — on the vDMA scheme over two
+// devices and four ranks, the taskrt-identity configuration. Recorded
+// in BENCH_kernel.json under "taskrt" and compared by the CI
+// bench-regression job.
+func BenchmarkTaskrtWorkloads(b *testing.B) {
+	for _, wl := range Workloads() {
+		b.Run(wl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rt := New(Config{Scheme: vscc.SchemeVDMA})
+				if err := Build(rt, wl, 4, 8, 4); err != nil {
+					b.Fatal(err)
+				}
+				if err := rt.Run(newSession(b, 2, 4, vscc.SchemeVDMA)); err != nil {
+					b.Fatal(err)
+				}
+				if rt.StateHash() == "" {
+					b.Fatal("empty hash")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package taskrt
+
+import "fmt"
+
+// BuildCholesky populates rt with a right-looking blocked Cholesky
+// factorization of a tiles×tiles grid of b×b float64 tiles — the
+// classic task-dataflow showcase (BDDT-SCC's motivating kernel): potrf
+// on the diagonal, trsm down the panel, syrk/gemm across the trailing
+// matrix, all dependences derived from the tile accesses alone. The
+// input is a deterministic symmetric diagonally-dominant matrix, so the
+// factorization exists and every body is a pure function of its tiles.
+//
+// Only the lower triangle is stored. Tile (i,j) is owned block-cyclically
+// by rank (i + j) % workers, so panels fan across ranks and the trailing
+// updates generate cross-rank argument movement at every step.
+func BuildCholesky(rt *Runtime, tiles, b, workers int) error {
+	if tiles <= 0 || b <= 0 || workers <= 0 {
+		return fmt.Errorf("taskrt: cholesky tiles=%d b=%d workers=%d", tiles, b, workers)
+	}
+	n := tiles * b
+	a := make([][]*Region, tiles)
+	for i := 0; i < tiles; i++ {
+		a[i] = make([]*Region, i+1)
+		for j := 0; j <= i; j++ {
+			rg, err := rt.Region(fmt.Sprintf("A.%d.%d", i, j), b*b*8, (i+j)%workers)
+			if err != nil {
+				return err
+			}
+			a[i][j] = rg
+			i, j := i, j
+			if _, err := rt.AddTask(fmt.Sprintf("init.%d.%d", i, j), float64(b*b),
+				[]Access{Out(rg)}, func(tc *TaskCtx) {
+					buf := tc.Data(rg)
+					for r := 0; r < b; r++ {
+						for c := 0; c < b; c++ {
+							putF(buf, r*b+c, choleskyInput(i*b+r, j*b+c, n))
+						}
+					}
+				}); err != nil {
+				return err
+			}
+		}
+	}
+	for k := 0; k < tiles; k++ {
+		akk := a[k][k]
+		if _, err := rt.AddTask(fmt.Sprintf("potrf.%d", k), float64(b*b*b)/3,
+			[]Access{InOut(akk)}, func(tc *TaskCtx) {
+				potrf(tc.Data(akk), b)
+			}); err != nil {
+			return err
+		}
+		for i := k + 1; i < tiles; i++ {
+			aik := a[i][k]
+			if _, err := rt.AddTask(fmt.Sprintf("trsm.%d.%d", i, k), float64(b*b*b),
+				[]Access{In(akk), InOut(aik)}, func(tc *TaskCtx) {
+					trsm(tc.Data(akk), tc.Data(aik), b)
+				}); err != nil {
+				return err
+			}
+		}
+		for i := k + 1; i < tiles; i++ {
+			aik := a[i][k]
+			for j := k + 1; j <= i; j++ {
+				ajk, aij := a[j][k], a[i][j]
+				name, flops := fmt.Sprintf("gemm.%d.%d.%d", i, j, k), float64(2*b*b*b)
+				accs := []Access{In(aik), In(ajk), InOut(aij)}
+				if j == i {
+					name, flops = fmt.Sprintf("syrk.%d.%d", i, k), float64(b*b*b)
+					accs = []Access{In(aik), InOut(aij)}
+				}
+				if _, err := rt.AddTask(name, flops, accs, func(tc *TaskCtx) {
+					gemmNT(tc.Data(aik), tc.Data(ajk), tc.Data(aij), b)
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// choleskyInput is the element (r,c) of the deterministic input matrix:
+// symmetric, and diagonally dominant so the factorization never hits a
+// non-positive pivot.
+func choleskyInput(r, c, n int) float64 {
+	d := r - c
+	if d < 0 {
+		d = -d
+	}
+	v := 1.0 / float64(1+d)
+	if r == c {
+		v += 2 * float64(n)
+	}
+	return v
+}
+
+// potrf factors a b×b tile in place: A = L·Lᵀ, lower triangle.
+func potrf(ab []byte, b int) {
+	for c := 0; c < b; c++ {
+		d := getF(ab, c*b+c)
+		for p := 0; p < c; p++ {
+			l := getF(ab, c*b+p)
+			d -= l * l
+		}
+		d = sqrtPos(d)
+		putF(ab, c*b+c, d)
+		for r := c + 1; r < b; r++ {
+			v := getF(ab, r*b+c)
+			for p := 0; p < c; p++ {
+				v -= getF(ab, r*b+p) * getF(ab, c*b+p)
+			}
+			putF(ab, r*b+c, v/d)
+		}
+		for r := 0; r < c; r++ {
+			putF(ab, r*b+c, 0)
+		}
+	}
+}
+
+// trsm solves X·Lᵀ = A in place over tile ab (the panel update below a
+// factored diagonal tile lb).
+func trsm(lb, ab []byte, b int) {
+	for r := 0; r < b; r++ {
+		for c := 0; c < b; c++ {
+			v := getF(ab, r*b+c)
+			for p := 0; p < c; p++ {
+				v -= getF(ab, r*b+p) * getF(lb, c*b+p)
+			}
+			putF(ab, r*b+c, v/getF(lb, c*b+c))
+		}
+	}
+}
+
+// gemmNT computes C -= A·Bᵀ over b×b tiles (with A==B it is the syrk
+// trailing update).
+func gemmNT(a, b2, c []byte, b int) {
+	for r := 0; r < b; r++ {
+		for s := 0; s < b; s++ {
+			v := getF(c, r*b+s)
+			for p := 0; p < b; p++ {
+				v -= getF(a, r*b+p) * getF(b2, s*b+p)
+			}
+			putF(c, r*b+s, v)
+		}
+	}
+}
+
+// sqrtPos is a deterministic Newton square root for positive pivots
+// (avoids pulling math.Sqrt's IEEE notes into the determinism argument;
+// converged Newton on float64 is bit-stable).
+func sqrtPos(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	if g > 1 {
+		g = (g + 1) / 2
+	}
+	for i := 0; i < 64; i++ {
+		n := (g + x/g) / 2
+		if n == g {
+			break
+		}
+		g = n
+	}
+	return g
+}

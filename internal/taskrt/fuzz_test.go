@@ -1,0 +1,58 @@
+package taskrt
+
+import "testing"
+
+// FuzzParseSpec drives the task-spec grammar with arbitrary text,
+// mirroring the internal/fault ParseSpec fuzz setup: the parser must
+// never panic, every accepted spec must render to a canonical form that
+// re-parses to the identical spec (round trip), and every accepted spec
+// must build and serially execute without error — the parser's
+// validation is the only gate between untrusted text and the runtime.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("region a 64\nregion b 128 owner=1\ntask t0 out=a flops=10\ntask t1 in=a inout=b\n")
+	f.Add("region r 65536\ntask big inout=r\ntask after in=r\n")
+	f.Add("region x 1 owner=255\ntask t in=x out=x\n") // dup use: reject
+	f.Add("region x 0\n")                              // zero size: reject
+	f.Add("region x 65537\n")                          // over cap: reject
+	f.Add("task t in=missing\n")                       // unknown region
+	f.Add("region weird-name.0_v2 32\ntask t_0 inout=weird-name.0_v2 flops=0.5\n")
+	f.Add("bogus directive\nregion a 8\n")
+	f.Add("region a 8 owner=-1\n")
+	f.Add("task\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		// Round trip: canonical form re-parses to the same canonical form.
+		canon := sp.String()
+		sp2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		if sp2.String() != canon {
+			t.Fatalf("canonical form not a fixed point:\n%q\n%q", canon, sp2.String())
+		}
+		// Every accepted spec is runnable: build both a runtime and the
+		// serial reference; the hashes must agree between two builds.
+		ra := New(Config{})
+		if err := sp.Build(ra, 4); err != nil {
+			t.Fatalf("accepted spec fails Build: %v\n%s", err, canon)
+		}
+		if err := ra.RunSerial(4); err != nil {
+			t.Fatalf("accepted spec fails RunSerial: %v\n%s", err, canon)
+		}
+		rb := New(Config{})
+		if err := sp2.Build(rb, 4); err != nil {
+			t.Fatalf("re-parsed spec fails Build: %v", err)
+		}
+		if err := rb.RunSerial(4); err != nil {
+			t.Fatalf("re-parsed spec fails RunSerial: %v", err)
+		}
+		if ra.StateHash() != rb.StateHash() {
+			t.Fatalf("round-tripped spec executes differently")
+		}
+	})
+}

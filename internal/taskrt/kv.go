@@ -1,0 +1,93 @@
+package taskrt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// kvRespBytes is the fixed response-region footprint: small enough that
+// every scheme moves it on its direct path.
+const kvRespBytes = 32
+
+// BuildKV populates rt with a key-value request/response service: size
+// shard regions spread round-robin across ranks, plus one deterministic
+// stream of GET/PUT requests derived from seed. Each request is a task
+// homed at its shard's owner (the response region is owned there too);
+// a GET reads the shard and writes a digest of the addressed window
+// into its response, a PUT read-modify-writes the shard and returns the
+// overwritten window. Requests against the same shard serialize through
+// the dependence tracker (PUTs order against every GET issued since the
+// last PUT — the WAR edge), while requests to distinct shards proceed
+// in parallel: the irregular, data-driven traffic pattern regular SPMD
+// sweeps never produce.
+func BuildKV(rt *Runtime, shards, shardBytes, requests int, seed uint64, workers int) error {
+	if shards <= 0 || shardBytes < 64 || requests < 0 || workers <= 0 {
+		return fmt.Errorf("taskrt: kv shards=%d shardBytes=%d requests=%d workers=%d",
+			shards, shardBytes, requests, workers)
+	}
+	shard := make([]*Region, shards)
+	for i := 0; i < shards; i++ {
+		rg, err := rt.Region(fmt.Sprintf("kv.shard.%d", i), shardBytes, i%workers)
+		if err != nil {
+			return err
+		}
+		shard[i] = rg
+		i := i
+		if _, err := rt.AddTask(fmt.Sprintf("kv.load.%d", i), float64(shardBytes),
+			[]Access{Out(rg)}, func(tc *TaskCtx) {
+				buf := tc.Data(rg)
+				for o := 0; o+8 <= len(buf); o += 8 {
+					binary.LittleEndian.PutUint64(buf[o:], splitmix64(seed^uint64(i)<<32^uint64(o)))
+				}
+			}); err != nil {
+			return err
+		}
+	}
+	windows := shardBytes / 8
+	for j := 0; j < requests; j++ {
+		h := splitmix64(seed + 0x517cc1b727220a95*uint64(j+1))
+		sh := shard[int(h%uint64(shards))]
+		off := int((h>>20)%uint64(windows)) * 8
+		val := splitmix64(h)
+		resp, err := rt.Region(fmt.Sprintf("kv.resp.%d", j), kvRespBytes, sh.Owner())
+		if err != nil {
+			return err
+		}
+		if h>>63 == 0 { // GET
+			if _, err := rt.AddTask(fmt.Sprintf("kv.get.%d", j), 64,
+				[]Access{In(sh), Out(resp)}, func(tc *TaskCtx) {
+					kvRespond(tc.Data(resp), 'G', tc.Data(sh), off)
+				}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := rt.AddTask(fmt.Sprintf("kv.put.%d", j), 64,
+			[]Access{InOut(sh), Out(resp)}, func(tc *TaskCtx) {
+				buf := tc.Data(sh)
+				kvRespond(tc.Data(resp), 'P', buf, off)
+				binary.LittleEndian.PutUint64(buf[off:], val)
+			}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kvRespond fills a response region: opcode, window offset, and a
+// folded digest of the addressed 8-byte window plus its two neighbours.
+func kvRespond(resp []byte, op byte, buf []byte, off int) {
+	for i := range resp {
+		resp[i] = 0
+	}
+	resp[0] = op
+	binary.LittleEndian.PutUint32(resp[4:], uint32(off))
+	d := splitmix64(binary.LittleEndian.Uint64(buf[off:]))
+	if off >= 8 {
+		d ^= splitmix64(binary.LittleEndian.Uint64(buf[off-8:]))
+	}
+	if off+16 <= len(buf) {
+		d ^= splitmix64(binary.LittleEndian.Uint64(buf[off+8:]))
+	}
+	binary.LittleEndian.PutUint64(resp[8:], d)
+}

@@ -1,0 +1,111 @@
+package taskrt
+
+import "fmt"
+
+// BuildStencil populates rt with an iterated 5-point Jacobi stencil over
+// a (strips·rows)×wdt float64 grid decomposed into horizontal strips,
+// with halo exchange expressed purely as region dataflow. The grid is
+// double buffered: each strip s and parity p has a body region plus
+// duplicated top/bot boundary-row regions, and the sweep task for strip
+// s at iteration t reads its own parity-p body and the adjacent strips'
+// parity-p edge rows, then writes the parity-q set — so WAR hazards
+// between neighbours never arise and the dependence tracker sees the
+// classic halo pattern (each sweep waits on at most three producers).
+//
+// The edge regions are wdt·8 bytes (small — direct or cached-MPB class
+// depending on scheme) while bodies are rows·wdt·8 bytes, so one
+// workload exercises several move classes at once. Strip s is owned by
+// rank s % workers. Cells outside the grid read as zero.
+func BuildStencil(rt *Runtime, wdt, rows, strips, iters, workers int) error {
+	if wdt <= 0 || rows < 2 || strips <= 0 || iters < 0 || workers <= 0 {
+		return fmt.Errorf("taskrt: stencil wdt=%d rows=%d strips=%d iters=%d workers=%d",
+			wdt, rows, strips, iters, workers)
+	}
+	type set struct{ body, top, bot *Region }
+	grids := [2][]set{}
+	for p := 0; p < 2; p++ {
+		grids[p] = make([]set, strips)
+		for s := 0; s < strips; s++ {
+			var g set
+			var err error
+			if g.body, err = rt.Region(fmt.Sprintf("st.body.%d.%d", p, s), rows*wdt*8, s%workers); err != nil {
+				return err
+			}
+			if g.top, err = rt.Region(fmt.Sprintf("st.top.%d.%d", p, s), wdt*8, s%workers); err != nil {
+				return err
+			}
+			if g.bot, err = rt.Region(fmt.Sprintf("st.bot.%d.%d", p, s), wdt*8, s%workers); err != nil {
+				return err
+			}
+			grids[p][s] = g
+		}
+	}
+	// Seed parity 0 with a deterministic pattern; parity 1 starts zero
+	// and is fully produced by the first sweep.
+	for s := 0; s < strips; s++ {
+		s, g := s, grids[0][s]
+		if _, err := rt.AddTask(fmt.Sprintf("st.init.%d", s), float64(rows*wdt),
+			[]Access{Out(g.body), Out(g.top), Out(g.bot)}, func(tc *TaskCtx) {
+				body, top, bot := tc.Data(g.body), tc.Data(g.top), tc.Data(g.bot)
+				for r := 0; r < rows; r++ {
+					for c := 0; c < wdt; c++ {
+						v := float64((splitmix64(uint64(s*rows+r)<<20|uint64(c))%1000)+1) / 1000
+						putF(body, r*wdt+c, v)
+					}
+				}
+				copy(top, body[:wdt*8])
+				copy(bot, body[(rows-1)*wdt*8:])
+			}); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < iters; t++ {
+		p, q := t%2, 1-t%2
+		for s := 0; s < strips; s++ {
+			s, in, out := s, grids[p][s], grids[q][s]
+			accs := []Access{Out(out.body), Out(out.top), Out(out.bot), In(in.body)}
+			var above, below *Region
+			if s > 0 {
+				above = grids[p][s-1].bot
+				accs = append(accs, In(above))
+			}
+			if s < strips-1 {
+				below = grids[p][s+1].top
+				accs = append(accs, In(below))
+			}
+			if _, err := rt.AddTask(fmt.Sprintf("st.sweep.%d.%d", t, s), float64(5*rows*wdt),
+				accs, func(tc *TaskCtx) {
+					src, dst := tc.Data(in.body), tc.Data(out.body)
+					at := func(r, c int) float64 {
+						if c < 0 || c >= wdt {
+							return 0
+						}
+						switch {
+						case r < 0:
+							if above == nil {
+								return 0
+							}
+							return getF(tc.Data(above), c)
+						case r >= rows:
+							if below == nil {
+								return 0
+							}
+							return getF(tc.Data(below), c)
+						}
+						return getF(src, r*wdt+c)
+					}
+					for r := 0; r < rows; r++ {
+						for c := 0; c < wdt; c++ {
+							v := (at(r, c) + at(r-1, c) + at(r+1, c) + at(r, c-1) + at(r, c+1)) / 5
+							putF(dst, r*wdt+c, v)
+						}
+					}
+					copy(tc.Data(out.top), dst[:wdt*8])
+					copy(tc.Data(out.bot), dst[(rows-1)*wdt*8:])
+				}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package vscc
+
+// Region-granular transfer classification for runtimes layered on the
+// vSCC (internal/taskrt). The paper sizes its machinery around two
+// boundaries: the per-scheme direct-path cutoff ("about 32 B to 128 B
+// dependent on the communication scheme", §3.3) below which a core moves
+// the payload itself, and the 8 KB MPB half (§2.1, the Fig. 6b
+// throughput knee) above which transfers must be split and double
+// buffered — the regime the vDMA engine pipelines across MPB halves.
+// A task runtime moving a declared data region picks its strategy from
+// the region footprint against exactly these two thresholds.
+
+// MPBSplitBytes is the 8 KB message-passing-buffer half: the largest
+// region that fits one MPB staging pass. Larger transfers split into
+// pipelined chunks (Fig. 6b's knee, the vDMA double-buffer regime).
+const MPBSplitBytes = 8 * 1024
+
+// MoveClass names the transfer strategy for one region-granular move.
+type MoveClass int
+
+const (
+	// MoveDirect: the footprint is at or under the scheme's direct-path
+	// cutoff; the core carries the payload itself through the host
+	// communication task (host-assisted small transfer).
+	MoveDirect MoveClass = iota
+	// MoveCachedMPB: the footprint fits one MPB staging pass; a single
+	// put/get through the MPB, served by the host software cache under
+	// the cached-get scheme.
+	MoveCachedMPB
+	// MoveVDMA: the footprint exceeds the MPB split; the move pipelines
+	// chunks across both MPB halves the way the virtual DMA controller
+	// double buffers (Fig. 4a/5).
+	MoveVDMA
+)
+
+// String names the class for metrics and reports.
+func (m MoveClass) String() string {
+	switch m {
+	case MoveDirect:
+		return "direct"
+	case MoveCachedMPB:
+		return "cached-mpb"
+	case MoveVDMA:
+		return "vdma"
+	}
+	return "invalid"
+}
+
+// ClassifyMove picks the transfer strategy for a region of the given
+// footprint under a scheme: the scheme's direct cutoff (defaulting to
+// 32 B for schemes without a direct path, the smallest cutoff the paper
+// names) bounds MoveDirect, the MPB half bounds MoveCachedMPB, and
+// everything larger is MoveVDMA.
+func ClassifyMove(s Scheme, bytes int) MoveClass {
+	direct := s.DirectThreshold()
+	if direct == 0 {
+		direct = 32
+	}
+	switch {
+	case bytes <= direct:
+		return MoveDirect
+	case bytes <= MPBSplitBytes:
+		return MoveCachedMPB
+	default:
+		return MoveVDMA
+	}
+}
