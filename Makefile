@@ -49,7 +49,8 @@ bench-kernel:
 
 # Fault-injection gate: injector unit tests, the fault matrix, the
 # recovery tests and the soak's 1x short schedule, all under the race
-# detector, plus coverage floors on the injector, the PCIe packet layer
+# detector, a short 16-point chaos campaign over both recovery
+# harnesses, plus coverage floors on the injector, the PCIe packet layer
 # and the multi-tenant scheduler (the packages carrying the
 # fault/recovery and admission machinery). The sched profile merges the
 # package tests with the root multi-tenant integration test.
@@ -86,6 +87,13 @@ fault:
 	echo "internal/taskrt coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
 		{ echo "internal/taskrt coverage below the 80% floor"; exit 1; }
+	$(GO) run ./cmd/chaos -seed 1 -n 16
+	@$(GO) test -short -coverprofile=cover-chaos.out ./internal/chaos >/dev/null; \
+	pct=$$($(GO) tool cover -func=cover-chaos.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	rm -f cover-chaos.out; \
+	echo "internal/chaos coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p+0 < 80.0) ? 1 : 0 }' || \
+		{ echo "internal/chaos coverage below the 80% floor"; exit 1; }
 
 # Full 10k-transfer fault soak (the short 1x schedule runs in `fault`).
 soak:

@@ -1,0 +1,85 @@
+// Command chaos runs the deterministic fault-campaign engine: a seeded
+// walk over fault site x device x cycle-window, each point executed
+// through a recovery harness (the devretry scheduler and the
+// re-executing task runtime) and checked against its invariants plus
+// rerun byte-identity. On a violation it shrinks the schedule to a
+// minimal reproducer spec, prints it verbatim, optionally writes it to
+// a file (for CI artifact upload), and exits nonzero.
+//
+// Usage:
+//
+//	chaos [-seed N] [-n POINTS] [-target all|sched|taskrt] [-maxfaults N] [-out FILE] [-v]
+//	chaos -repro SPEC -target sched|taskrt
+//
+// The -repro form re-checks one spec (e.g. a minimized reproducer from
+// an earlier campaign) against a single target and reports pass/fail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vscc/internal/chaos"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "campaign seed: the walk is a pure function of it")
+	n := flag.Int("n", 200, "points to walk")
+	targetName := flag.String("target", "all", "harness to drive: all, sched or taskrt")
+	maxFaults := flag.Int("maxfaults", 4, "most faults per schedule")
+	out := flag.String("out", "", "write the minimized reproducer report to this file on violation")
+	repro := flag.String("repro", "", "re-check one spec instead of walking a campaign")
+	verbose := flag.Bool("v", false, "log every point")
+	flag.Parse()
+
+	var targets []chaos.Target
+	switch *targetName {
+	case "all":
+		targets = chaos.DefaultTargets()
+	case "sched":
+		targets = []chaos.Target{chaos.SchedTarget()}
+	case "taskrt":
+		targets = []chaos.Target{chaos.TaskrtTarget()}
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown target %q (want all, sched or taskrt)\n", *targetName)
+		os.Exit(2)
+	}
+
+	if *repro != "" {
+		if *targetName == "all" {
+			fmt.Fprintln(os.Stderr, "chaos: -repro needs -target sched or -target taskrt")
+			os.Exit(2)
+		}
+		t := targets[0]
+		if _, problems := t.Run(*repro); len(problems) > 0 {
+			fmt.Printf("chaos: target %s still violates invariants under %s\n", t.Name, *repro)
+			for _, p := range problems {
+				fmt.Printf("  - %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("chaos: target %s passes under %s\n", t.Name, *repro)
+		return
+	}
+
+	c := &chaos.Campaign{Seed: *seed, N: *n, MaxFaults: *maxFaults, Targets: targets}
+	if *verbose {
+		c.Log = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	points, v := c.Run()
+	if v != nil {
+		report := v.Error()
+		fmt.Print(report)
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: writing %s: %v\n", *out, err)
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: seed=%d points=%d target=%s maxfaults=%d: all invariants held\n",
+		*seed, points, *targetName, *maxFaults)
+}

@@ -11,7 +11,9 @@
 // Chrome trace — across replicas before printing it. With a -fault
 // schedule the same determinism holds, and -assert-isolation verifies
 // the fault domain: jobs that never touch the crashed device must
-// complete, failures must match rcce.ErrDeviceLost on that device.
+// complete, failures must match rcce.ErrDeviceLost on that device, and
+// a devretry tenant's job counts as lost-then-recovered when its
+// requeue record names the device.
 //
 // Usage:
 //
@@ -185,10 +187,12 @@ func (rc *runConfig) render(out *replicaOutput, s *sched.Scheduler, sink *trace.
 	w := &out.report
 	fmt.Fprintf(w, "== vsccd: %d jobs, %d tenants, %d devices, fabric %s ==\n",
 		len(rc.w.Jobs), len(rc.w.Tenants), rc.devices, rc.scheme.Key())
-	rows := [][]string{{"job", "tenant", "kind", "ranks", "scheme", "devs", "submit", "admit", "done", "status"}}
+	rows := [][]string{{"job", "tenant", "kind", "ranks", "scheme", "devs", "submit", "admit", "done", "status", "retries"}}
 	counts := map[sched.Status]int{}
+	requeued := 0
 	for _, r := range out.results {
 		counts[r.Status]++
+		requeued += r.Retries
 		rows = append(rows, []string{
 			r.Spec.Name,
 			fmt.Sprint(r.Spec.Tenant),
@@ -200,24 +204,26 @@ func (rc *runConfig) render(out *replicaOutput, s *sched.Scheduler, sink *trace.
 			cyc(r.Admit),
 			cyc(r.Done),
 			r.Status.String(),
+			fmt.Sprint(r.Retries),
 		})
 	}
 	fmt.Fprint(w, stats.Table(rows))
-	trows := [][]string{{"tenant", "jobs done", "pcie bytes", "bw-throttled [cyc]", "cache evicts"}}
+	trows := [][]string{{"tenant", "jobs done", "requeued", "pcie bytes", "bw-throttled [cyc]", "cache evicts"}}
 	for _, id := range s.Tenants() {
 		tag := trace.TenantTag(id)
 		trows = append(trows, []string{
 			tag,
 			fmt.Sprint(sink.CounterValue("sched.done." + tag)),
+			fmt.Sprint(sink.CounterValue("sched.requeued." + tag)),
 			fmt.Sprint(sink.CounterValue("qos.bytes." + tag)),
 			fmt.Sprint(sink.CounterValue("qos.bw_wait." + tag)),
 			fmt.Sprint(sink.CounterValue("host.cache_evict." + tag)),
 		})
 	}
 	fmt.Fprint(w, stats.Table(trows))
-	fmt.Fprintf(w, "summary: jobs=%d ok=%d rejected=%d device-lost=%d failed=%d end_cycle=%d\n",
+	fmt.Fprintf(w, "summary: jobs=%d ok=%d rejected=%d device-lost=%d failed=%d requeued=%d end_cycle=%d\n",
 		len(out.results), counts[sched.StatusOK], counts[sched.StatusRejected],
-		counts[sched.StatusDeviceLost], counts[sched.StatusFailed], k.Now())
+		counts[sched.StatusDeviceLost], counts[sched.StatusFailed], requeued, k.Now())
 	if stranded {
 		fmt.Fprintln(w, "engine: stranded ranks parked after device loss (expected)")
 	} else {
@@ -249,11 +255,14 @@ func devList(r sched.Result) string {
 
 // checkIsolation verifies the fault domain of a crashed device: every
 // failure must involve the device and match rcce.ErrDeviceLost (via its
-// status), at least one job must have been lost to it, and every job
-// that never touched the device must have completed (or been rejected
-// for capacity, which is independent of the fault).
+// status), at least one job must have been lost to — or recovered from —
+// it, and every job that never touched the device must have completed
+// (or been rejected for capacity, which is independent of the fault).
+// A devretry job that finished ok after a requeue counts against the
+// device its LostDevs record names, not its final placement: recovery
+// relocates the job, but the fault domain it survived does not move.
 func checkIsolation(results []sched.Result, dev int) error {
-	lost := 0
+	lost, recovered := 0, 0
 	for _, r := range results {
 		touches := false
 		for _, d := range r.Devices() {
@@ -261,21 +270,33 @@ func checkIsolation(results []sched.Result, dev int) error {
 				touches = true
 			}
 		}
+		lostTo := false
+		for _, d := range r.LostDevs {
+			if d == dev {
+				lostTo = true
+			}
+		}
 		switch r.Status {
 		case sched.StatusDeviceLost:
-			if !touches {
+			if !touches && !lostTo {
 				return fmt.Errorf("isolation violated: job %q lost to the device fault without touching device %d", r.Spec.Name, dev)
 			}
 			lost++
 		case sched.StatusFailed:
 			return fmt.Errorf("isolation violated: job %q failed with a non-device error: %v", r.Spec.Name, r.Err)
-		case sched.StatusOK, sched.StatusRejected:
+		case sched.StatusOK:
+			if lostTo {
+				recovered++
+			} else if r.Retries > 0 {
+				return fmt.Errorf("isolation violated: job %q was requeued by devices %v, not device %d", r.Spec.Name, r.LostDevs, dev)
+			}
+		case sched.StatusRejected:
 		default:
 			return fmt.Errorf("job %q finished in non-terminal state %v", r.Spec.Name, r.Status)
 		}
 	}
-	if lost == 0 {
-		return fmt.Errorf("isolation assertion vacuous: no job was lost to device %d", dev)
+	if lost+recovered == 0 {
+		return fmt.Errorf("isolation assertion vacuous: no job was lost to or recovered from device %d", dev)
 	}
 	return nil
 }

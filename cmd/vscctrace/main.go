@@ -9,7 +9,9 @@
 //
 // With -recovery it instead tabulates the device fault/recovery ledger:
 // per device, the injected device faults, rejoins, epoch advances,
-// checkpoints, journal-replay and PCIe-replay volumes, plus the other
+// checkpoints, journal-replay and PCIe-replay volumes, the job-level
+// recovery work (devretry requeues and exhausted budgets from the
+// scheduler, task re-executions from the task runtime), plus the other
 // per-device recovery actions — the terminal-side summary of a
 // crash-recovery run (fault spec devcrash=.../devlinkdown=...). The
 // ledger is tallied per source file first and identical per-device
@@ -382,6 +384,9 @@ type devLedger struct {
 	jrnBytes  int64 // replay.bytes
 	pcieFr    int64 // replay.frames  (held SIF frames, re-driven)
 	pcieBytes int64 // replay.frame_bytes
+	requeued  int64 // sched.requeued      (devretry jobs readmitted off this device)
+	exhausted int64 // sched.retry_exhausted (devretry budgets spent on this device)
+	reexecs   int64 // taskrt.reexec       (tasks re-issued off this device)
 	injected  int64 // all fault.inject.* for this device
 	recovered int64 // all fault.recover.* for this device
 }
@@ -408,6 +413,12 @@ func (l *devLedger) add(base string, v int64) {
 		l.pcieFr += v
 	case "replay.frame_bytes":
 		l.pcieBytes += v
+	case "sched.requeued":
+		l.requeued += v
+	case "sched.retry_exhausted":
+		l.exhausted += v
+	case "taskrt.reexec":
+		l.reexecs += v
 	}
 	if len(base) > 13 && base[:13] == "fault.inject." {
 		l.injected += v
@@ -428,6 +439,9 @@ func (l *devLedger) merge(o devLedger) {
 	l.jrnBytes += o.jrnBytes
 	l.pcieFr += o.pcieFr
 	l.pcieBytes += o.pcieBytes
+	l.requeued += o.requeued
+	l.exhausted += o.exhausted
+	l.reexecs += o.reexecs
 	l.injected += o.injected
 	l.recovered += o.recovered
 }
@@ -555,14 +569,14 @@ func printRecovery(ledgers map[int]*devLedger) {
 		devs = append(devs, d)
 	}
 	sort.Ints(devs)
-	fmt.Printf("%-4s %7s %7s %7s %7s %7s %10s %12s %10s %12s %9s %9s\n",
+	fmt.Printf("%-4s %7s %7s %7s %7s %7s %10s %12s %10s %12s %8s %7s %7s %9s %9s\n",
 		"dev", "crash", "linkdn", "rejoin", "epoch", "ckpt",
-		"jrn.wr", "jrn.bytes", "pcie.fr", "pcie.bytes", "injected", "recovered")
+		"jrn.wr", "jrn.bytes", "pcie.fr", "pcie.bytes", "requeued", "exhaust", "reexec", "injected", "recovered")
 	for _, d := range devs {
 		l := ledgers[d]
-		fmt.Printf("d%-3d %7d %7d %7d %7d %7d %10d %12d %10d %12d %9d %9d\n",
+		fmt.Printf("d%-3d %7d %7d %7d %7d %7d %10d %12d %10d %12d %8d %7d %7d %9d %9d\n",
 			d, l.crashes, l.linkdowns, l.rejoins, l.epochs, l.ckpts,
-			l.jrnWrites, l.jrnBytes, l.pcieFr, l.pcieBytes, l.injected, l.recovered)
+			l.jrnWrites, l.jrnBytes, l.pcieFr, l.pcieBytes, l.requeued, l.exhausted, l.reexecs, l.injected, l.recovered)
 	}
 }
 

@@ -23,7 +23,10 @@ const ledgerA = `{"traceEvents":[
 {"ph":"C","pid":1,"ts":90,"name":"ckpt.take.d1","args":{"value":3}},
 {"ph":"C","pid":1,"ts":95,"name":"replay.writes.d1","args":{"value":10}},
 {"ph":"C","pid":1,"ts":95,"name":"replay.bytes.d1","args":{"value":640}},
-{"ph":"C","pid":1,"ts":99,"name":"fault.recover.rejoin.d1","args":{"value":1}}
+{"ph":"C","pid":1,"ts":99,"name":"fault.recover.rejoin.d1","args":{"value":1}},
+{"ph":"C","pid":1,"ts":99,"name":"sched.requeued.d1","args":{"value":2}},
+{"ph":"C","pid":1,"ts":99,"name":"sched.retry_exhausted.d1","args":{"value":1}},
+{"ph":"C","pid":1,"ts":99,"name":"taskrt.reexec.d1","args":{"value":4}}
 ]}`
 
 const ledgerB = `{"traceEvents":[
@@ -50,6 +53,9 @@ func TestRecoveryLedgerDedupesAcrossFiles(t *testing.T) {
 	if l1.injected != 1 || l1.recovered != 1 {
 		t.Fatalf("inject/recover rollup wrong: %+v", *l1)
 	}
+	if l1.requeued != 2 || l1.exhausted != 1 || l1.reexecs != 4 {
+		t.Fatalf("job-recovery columns wrong: %+v", *l1)
+	}
 
 	twice := recoveryLedgers(loadMerged([]string{a, a}))
 	if got := twice[1]; *got != *l1 {
@@ -69,6 +75,9 @@ func TestRecoveryLedgerSumsDistinctFiles(t *testing.T) {
 	}
 	if got[2].ckpts != 5 {
 		t.Fatalf("device 2 checkpoints = %d, want 5", got[2].ckpts)
+	}
+	if got[1].requeued != 2 || got[1].exhausted != 1 || got[1].reexecs != 4 {
+		t.Fatalf("job-recovery columns lost in the sum: %+v", *got[1])
 	}
 }
 

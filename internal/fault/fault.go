@@ -17,6 +17,7 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -105,6 +106,14 @@ const (
 	DefaultRejoinCycles = sim.Cycles(200_000)
 	DefaultDrainCycles  = sim.Cycles(50_000)
 )
+
+// ErrDeviceLost is the sentinel raised when a blocking operation is
+// stranded on a crashed device and transparent retry is not enabled
+// (devretry=0). It lives here — below every model layer — so the host
+// fabric's forwarded-read path and the rcce protocol ladders raise the
+// exact same instance; rcce re-exports it as rcce.ErrDeviceLost, which
+// is the name callers match with errors.Is.
+var ErrDeviceLost = errors.New("rcce: peer device lost")
 
 // StallWindow freezes the host task at cycle At for For cycles.
 type StallWindow struct {
@@ -557,23 +566,33 @@ func ParseSpec(spec string) (*Config, error) {
 		return nil, nil
 	}
 	cfg := &Config{}
+	// Parse errors name the offending token and its byte offset in the
+	// (trimmed) spec, so a long machine-assembled spec — a chaos
+	// campaign reproducer, a CI matrix entry — pinpoints its bad token
+	// without manual counting.
+	off := 0
 	for _, tok := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		trimmed := strings.TrimSpace(tok)
+		at := off + strings.Index(tok, trimmed)
+		key, val, ok := strings.Cut(trimmed, "=")
 		if !ok {
-			return nil, fmt.Errorf("fault: %q is not key=value", tok)
+			return nil, fmt.Errorf("fault: spec token %q at byte %d is not key=value", trimmed, at)
 		}
 		if err := applySetting(cfg, key, val); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("fault: spec token %q at byte %d: %w", trimmed, at, err)
 		}
+		off += len(tok) + 1
 	}
 	return cfg, nil
 }
 
 func applySetting(cfg *Config, key, val string) error {
+	// Errors stay token-relative: ParseSpec wraps them with the
+	// offending token and its byte offset.
 	atoi := func(s string) (int, error) {
 		n, err := strconv.Atoi(s)
 		if err != nil {
-			return 0, fmt.Errorf("fault: %s=%q: %v", key, val, err)
+			return 0, fmt.Errorf("bad number %q", s)
 		}
 		return n, nil
 	}
@@ -581,7 +600,7 @@ func applySetting(cfg *Config, key, val string) error {
 	case "seed":
 		n, err := strconv.ParseUint(val, 10, 64)
 		if err != nil {
-			return fmt.Errorf("fault: seed=%q: %v", val, err)
+			return fmt.Errorf("bad seed %q", val)
 		}
 		cfg.Seed = n
 	case "drop":
@@ -637,7 +656,7 @@ func applySetting(cfg *Config, key, val string) error {
 	case "stall":
 		at, dur, ok := strings.Cut(val, ":")
 		if !ok {
-			return fmt.Errorf("fault: stall=%q: want AT:FOR", val)
+			return fmt.Errorf("want AT:FOR, got %q", val)
 		}
 		a, err := atoi(at)
 		if err != nil {
@@ -657,7 +676,7 @@ func applySetting(cfg *Config, key, val string) error {
 	case "devcrash", "devlinkdown":
 		parts := strings.Split(val, ":")
 		if len(parts) != 2 && len(parts) != 3 {
-			return fmt.Errorf("fault: %s=%q: want AT:DEV[:DOWN]", key, val)
+			return fmt.Errorf("want AT:DEV[:DOWN], got %q", val)
 		}
 		at, err := atoi(parts[0])
 		if err != nil {
@@ -747,7 +766,7 @@ func applySetting(cfg *Config, key, val string) error {
 		}
 		cfg.Recovery.DeviceRetry = n != 0
 	default:
-		return fmt.Errorf("fault: unknown setting %q", key)
+		return errors.New("unknown setting")
 	}
 	return nil
 }

@@ -323,6 +323,37 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestParseSpecErrorPositions pins the exact diagnostics: a bad spec
+// names its offending token and the token's byte offset in the trimmed
+// spec, so machine-assembled specs (chaos reproducers, CI matrices)
+// pinpoint their own defects.
+func TestParseSpecErrorPositions(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"drop", `fault: spec token "drop" at byte 0 is not key=value`},
+		{"seed=1,bogus=1", `fault: spec token "bogus=1" at byte 7: unknown setting`},
+		{"seed=1,drop=x", `fault: spec token "drop=x" at byte 7: bad number "x"`},
+		{"seed=z", `fault: spec token "seed=z" at byte 0: bad seed "z"`},
+		{"seed=1,stall=5", `fault: spec token "stall=5" at byte 7: want AT:FOR, got "5"`},
+		{"seed=1,devcrash=5", `fault: spec token "devcrash=5" at byte 7: want AT:DEV[:DOWN], got "5"`},
+		{"seed=1,devlinkdown=1:2:3:4", `fault: spec token "devlinkdown=1:2:3:4" at byte 7: want AT:DEV[:DOWN], got "1:2:3:4"`},
+		{"seed=1,drop=10,delay=1:x", `fault: spec token "delay=1:x" at byte 15: bad number "x"`},
+		// Inter-token spaces are trimmed from the token but kept in the
+		// offsets, which index the spec as the caller wrote it.
+		{"seed=1, drop=x", `fault: spec token "drop=x" at byte 8: bad number "x"`},
+		{"seed=1,,drop=10", `fault: spec token "" at byte 7 is not key=value`},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want %q", c.spec, c.want)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("ParseSpec(%q)\n got %q\nwant %q", c.spec, err.Error(), c.want)
+		}
+	}
+}
+
 func TestEventLogCapsAndSummary(t *testing.T) {
 	inj := NewInjector(sim.NewKernel(), Config{FlagLossPer10k: 10_000})
 	for i := 0; i < maxEvents+10; i++ {

@@ -47,8 +47,11 @@ const (
 // BankCommand is a decoded register-bank write.
 type BankCommand struct {
 	// Requester identity (filled by the task from the transport, not
-	// from register contents).
+	// from register contents). srcGen is the requesting core's
+	// retirement generation when the MMIO write was posted; the copy's
+	// landings drop if the core was retired in between.
 	SrcDev, SrcCore int
+	srcGen          uint32
 
 	DstDev, DstTile, DstOff int
 	Count                   int

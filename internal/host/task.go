@@ -118,6 +118,11 @@ type Task struct {
 	// real per-channel DMA engine.
 	vdmaChans map[[2]int]*vdmaChannel
 
+	// coreGen holds each core's retirement generation (RetireCore):
+	// deferred writes capture their source core's generation when issued
+	// and drop on landing if the core was retired in between.
+	coreGen map[[2]int]uint32
+
 	// qos is the multi-tenant state (qos.go); nil — the default — keeps
 	// every shared path byte-identical to the single-tenant task.
 	qos *qosState
@@ -173,6 +178,7 @@ func New(k *sim.Kernel, fabric *pcie.Fabric, chips []*scc.Chip, params Params) (
 		wcbs:      make(map[*Region]*hostWCB),
 		streams:   make(map[streamKey]*stream),
 		vdmaChans: make(map[[2]int]*vdmaChannel),
+		coreGen:   make(map[[2]int]uint32),
 		rec:       fault.DefaultRecovery(),
 		gate:      sim.NewGate(k, "commtask.alive"),
 	}
@@ -315,8 +321,40 @@ func (t *Task) DeviceDown(d int) { t.devGates[d].Close() }
 // DeviceUp reopens a device's gate after its rejoin.
 func (t *Task) DeviceUp(d int) { t.devGates[d].Open() }
 
+// RetireCore invalidates every in-flight write sourced from a core:
+// posted deliveries, write-combining flushes and vDMA copies (including
+// their notify/completion flags) capture the source core's generation
+// when issued and drop silently on landing once it moved. The scheduler
+// retires cores when it tears a dead session down for requeue —
+// otherwise writes the dead ranks (or the rejoin replay of their
+// journaled frames) left in flight would land on the successor
+// session's reused MPB bytes and desynchronize its flag protocols.
+func (t *Task) RetireCore(dev, core int) { t.coreGen[[2]int{dev, core}]++ }
+
+// coreEpoch reads a core's current retirement generation.
+func (t *Task) coreEpoch(dev, core int) uint32 { return t.coreGen[[2]int{dev, core}] }
+
+// coreLive reports whether a write issued at generation g may land.
+func (t *Task) coreLive(dev, core int, g uint32) bool { return t.coreGen[[2]int{dev, core}] == g }
+
 // devWait parks p while device d is unreachable.
 func (t *Task) devWait(p *sim.Proc, d int) { t.devGates[d].Wait(p) }
+
+// forwardWait guards a synchronous forward running on the requesting
+// core's proc against an unreachable target device. With transparent
+// retry (devretry=1) it parks until the rejoin, like devWait. Under
+// fail-fast recovery the strand is a device loss the requester must
+// handle NOW — the rank-side protocol ladders never see it, because the
+// forward blocks below them — so it panics the requesting proc with
+// fault.ErrDeviceLost. A requester's own device is never failed fast
+// (its cores freeze at the chip barrier instead).
+func (t *Task) forwardWait(p *sim.Proc, srcDev, srcCore, dev int) {
+	if t.faults != nil && !t.rec.DeviceRetry && dev != srcDev && !t.devGates[dev].IsOpen() {
+		panic(fmt.Errorf("host: forward from device %d core %d: device %d lost at cycle %d: %w",
+			srcDev, srcCore, dev, t.Kernel.Now(), fault.ErrDeviceLost))
+	}
+	t.devGates[dev].Wait(p)
+}
 
 // cacheClean verifies the checksum of a cached line before it is served.
 // A mismatch means the line was corrupted in host memory: drop it (the
@@ -450,8 +488,10 @@ func (t *Task) ReadLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, buf []
 		t.sink.Add("host.cache_miss", 1)
 	}
 	// Transparent forward to the owning device; an unreachable owner
-	// parks the read until its rejoin restores the exact same bytes.
-	t.devWait(p, dev)
+	// parks the read until its rejoin restores the exact same bytes —
+	// or, under fail-fast recovery, strands the requester with a
+	// deterministic device-loss error.
+	t.forwardWait(p, srcDev, srcCore, dev)
 	tl := t.Fabric.Link(dev)
 	tl.H2D.Transfer(p, t.Params.ReqBytes)
 	var line [mem.LineSize]byte
@@ -540,6 +580,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	t.chargeBW(p, srcDev, srcCore, mem.LineSize+t.Params.WriteHeaderBytes)
 	rg := t.regions.find(dev, tile, off)
 	link := t.Fabric.Link(srcDev)
+	g := t.coreEpoch(srcDev, srcCore)
 	// Write-combining host window: the new non-transparent fast path —
 	// the write targets host memory, not another device, so the SIF
 	// posts it safely; the core is throttled only by link backpressure
@@ -548,6 +589,9 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		d := snapshot(data)
 		w := t.wcbs[rg]
 		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
+			if !t.coreLive(srcDev, srcCore, g) {
+				return
+			}
 			w.absorb(off, d, mask)
 			t.maybeFlushWCB(w, false)
 		})
@@ -564,7 +608,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	if posted && t.Fabric.Ack != pcie.AckRemote {
 		d := snapshot(data)
 		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
-			t.enqueueDeliver(dev, tile, off, d, mask, true)
+			t.enqueueDeliver(srcDev, srcCore, g, dev, tile, off, d, mask, true)
 		})
 		t.stats.PostedWrites++
 		t.sink.Add("host.posted_write", 1)
@@ -577,7 +621,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		// sees only SIF backpressure.
 		d := snapshot(data)
 		t.Fabric.PostD2H(p, srcDev, mem.LineSize+t.Params.WriteHeaderBytes, func() {
-			t.enqueueDeliver(dev, tile, off, d, mask, isFlag)
+			t.enqueueDeliver(srcDev, srcCore, g, dev, tile, off, d, mask, isFlag)
 		})
 		t.stats.PostedWrites++
 		t.sink.Add("host.posted_write", 1)
@@ -588,7 +632,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		link.D2H.Transfer(p, mem.LineSize)
 		p.Delay(t.Fabric.Params.HostOpCycles)
 		t.gate.Wait(p)
-		t.enqueueDeliver(dev, tile, off, snapshot(data), mask, isFlag)
+		t.enqueueDeliver(srcDev, srcCore, g, dev, tile, off, snapshot(data), mask, isFlag)
 		link.H2D.Transfer(p, t.Params.AckBytes)
 		t.stats.SyncWrites++
 		t.sink.Add("host.sync_write", 1)
@@ -603,7 +647,7 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 		if isFlag {
 			t.fence(p, dev)
 		}
-		t.devWait(p, dev)
+		t.forwardWait(p, srcDev, srcCore, dev)
 		tl := t.Fabric.Link(dev)
 		tl.H2D.Transfer(p, mem.LineSize)
 		t.deliver(dev, tile, off, data, mask)
@@ -616,19 +660,25 @@ func (t *Task) WriteLine(p *sim.Proc, srcDev, srcCore, dev, tile, off int, data 
 	}
 }
 
-// deliverItem is one queued outbound write toward a device.
+// deliverItem is one queued outbound write toward a device. It carries
+// its source core and that core's retirement generation at issue time;
+// the forwarder drops the landing when the generation moved.
 type deliverItem struct {
 	tile, off int
 	data      []byte
 	mask      uint32
 	isFlag    bool
+	srcDev    int
+	srcCore   int
+	gen       uint32
 }
 
 // enqueueDeliver hands a write to the device's forwarder daemon. Under
 // multi-tenancy it lands in the destination tenant's DRR class instead
 // of the shared FIFO.
-func (t *Task) enqueueDeliver(dev, tile, off int, data []byte, mask uint32, isFlag bool) {
-	it := deliverItem{tile: tile, off: off, data: data, mask: mask, isFlag: isFlag}
+func (t *Task) enqueueDeliver(srcDev, srcCore int, g uint32, dev, tile, off int, data []byte, mask uint32, isFlag bool) {
+	it := deliverItem{tile: tile, off: off, data: data, mask: mask, isFlag: isFlag,
+		srcDev: srcDev, srcCore: srcCore, gen: g}
 	if t.qos != nil {
 		t.qos.drr[dev].enqueue(t.tenantAt(dev, tile, off), it)
 		return
@@ -660,6 +710,13 @@ func (t *Task) runForwarder(p *sim.Proc, dev int) {
 		}
 		it := item
 		t.Fabric.PostH2D(p, dev, mem.LineSize, func() {
+			// A write whose source core was retired mid-flight (its
+			// session torn down for requeue) must not land on the
+			// successor session's reused MPB bytes.
+			if !t.coreLive(it.srcDev, it.srcCore, it.gen) {
+				t.sink.Add("host.stale_write_drop", 1)
+				return
+			}
 			t.deliver(dev, it.tile, it.off, it.data, it.mask)
 		})
 		// Per-thread occupancy: how long this daemon thread was busy with
@@ -766,6 +823,11 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 		t.sink.Observe("host.wcb_flush_bytes", float64(flushBytes))
 		t.sink.Gauge(t.wcbGauges[dev], int64(t.wcbPending[dev]))
 	}
+	// The landing guard keys on the region owner's retirement
+	// generation: a flush racing the owner session's requeue teardown
+	// must not write the reused payload bytes. The burst accounting
+	// (wcbPending, fence broadcast) still runs for dropped bursts.
+	g := t.coreEpoch(w.rg.Dev, w.rg.Owner)
 	t.Kernel.Spawn(fmt.Sprintf("wcbflush.d%d", dev), func(fp *sim.Proc) {
 		t.gate.Wait(fp)
 		// Each flush programs one DMA descriptor on the host.
@@ -780,7 +842,11 @@ func (t *Task) maybeFlushWCB(w *hostWCB, force bool) {
 				data := span.data[o : o+n]
 				t.chargeBWRegion(fp, w.rg, n+t.Params.StreamHeaderBytes)
 				t.Fabric.PostH2D(fp, dev, n+t.Params.StreamHeaderBytes, func() {
-					t.deliverBulk(dev, w.rg.Tile, off, data)
+					if t.coreLive(w.rg.Dev, w.rg.Owner, g) {
+						t.deliverBulk(dev, w.rg.Tile, off, data)
+					} else {
+						t.sink.Add("host.stale_write_drop", 1)
+					}
 					t.wcbPending[dev]--
 					if t.sink != nil {
 						t.sink.Gauge(t.wcbGauges[dev], int64(t.wcbPending[dev]))
@@ -801,6 +867,7 @@ func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, dat
 	t.chargeBW(p, srcDev, srcCore, mem.LineSize)
 	p.Delay(t.Fabric.Params.SIFAckCycles)
 	d := snapshot(data)
+	g := t.coreEpoch(srcDev, srcCore)
 	t.Fabric.PostD2H(p, srcDev, mem.LineSize, func() {
 		t.Kernel.After(t.Fabric.Params.HostOpCycles, func() {
 			if t.faults.CorruptMMIO(srcDev) {
@@ -814,6 +881,7 @@ func (t *Task) MMIOWriteLine(p *sim.Proc, srcDev, srcCore, hostDev, off int, dat
 			}
 			cmd.SrcDev = srcDev
 			cmd.SrcCore = srcCore
+			cmd.srcGen = g
 			if t.gate.IsOpen() {
 				t.execute(cmd)
 				return
@@ -860,6 +928,12 @@ func (t *Task) execute(cmd BankCommand) {
 	}
 	switch cmd.Cmd {
 	case CmdCopy:
+		// A copy whose requester was retired (its session torn down while
+		// the MMIO frame was in flight or journaled) is dead on arrival.
+		if !t.coreLive(cmd.SrcDev, cmd.SrcCore, cmd.srcGen) {
+			t.sink.Add("host.stale_write_drop", 1)
+			return
+		}
 		t.stats.VDMACopies++
 		ch := t.vdmaChannel(cmd.SrcDev, cmd.SrcCore)
 		ticket := ch.nextTicket
@@ -997,7 +1071,11 @@ func (t *Task) runVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket uin
 			srcChip.HostReadLMB(srcTile, so, data)
 			t.Kernel.Spawn("vdma.push", func(pp *sim.Proc) {
 				t.Fabric.PostH2D(pp, cmd.DstDev, nn+t.Params.StreamHeaderBytes, func() {
-					t.deliverBulk(cmd.DstDev, cmd.DstTile, do, data)
+					if t.coreLive(cmd.SrcDev, cmd.SrcCore, cmd.srcGen) {
+						t.deliverBulk(cmd.DstDev, cmd.DstTile, do, data)
+					} else {
+						t.sink.Add("host.stale_write_drop", 1)
+					}
 					if last {
 						t.Kernel.Spawn("vdma.finish", func(fp *sim.Proc) {
 							t.finishVDMA(fp, cmd, ch, ticket)
@@ -1016,13 +1094,24 @@ func (t *Task) finishVDMA(p *sim.Proc, cmd BankCommand, ch *vdmaChannel, ticket 
 		ch.cond.Wait(p)
 	}
 	t.gate.Wait(p)
+	// The ticket still advances for a retired requester (later commands
+	// of the channel may belong to a successor session), but its flag
+	// values must never reach the reused MPB bytes.
 	if cmd.Flags&FlagNotifyDest != 0 {
 		t.Fabric.PostH2D(p, cmd.DstDev, t.Params.AckBytes, func() {
+			if !t.coreLive(cmd.SrcDev, cmd.SrcCore, cmd.srcGen) {
+				t.sink.Add("host.stale_write_drop", 1)
+				return
+			}
 			t.hostWrite(cmd.DstDev, cmd.DstTile, cmd.NotifyOff, []byte{cmd.NotifyVal})
 		})
 	}
 	if cmd.Flags&FlagCompletion != 0 {
 		t.Fabric.PostH2D(p, cmd.SrcDev, t.Params.AckBytes, func() {
+			if !t.coreLive(cmd.SrcDev, cmd.SrcCore, cmd.srcGen) {
+				t.sink.Add("host.stale_write_drop", 1)
+				return
+			}
 			t.hostWrite(cmd.SrcDev, scc.CoreTile(cmd.SrcCore), cmd.ComplOff, []byte{cmd.ComplVal})
 		})
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"vscc/internal/fault"
 	"vscc/internal/mem"
 	"vscc/internal/scc"
 	"vscc/internal/sim"
@@ -29,8 +30,16 @@ const MaxRanks = 256
 // ErrDeviceLost is the deterministic error surfaced when a blocking
 // operation's peer device crashes or loses its link and transparent
 // retry is not enabled (fault spec devretry=0). Callers match it with
-// errors.Is on the error returned by Run.
-var ErrDeviceLost = errors.New("rcce: peer device lost")
+// errors.Is on the error returned by Run. The sentinel itself lives in
+// package fault so layers below rcce (the host fabric's forwarded-read
+// path) can raise the same instance.
+var ErrDeviceLost = fault.ErrDeviceLost
+
+// ErrAborted is the deterministic error delivered to ranks killed by
+// Session.Abort: a supervisor (the job scheduler's devretry path) tore
+// the session down instead of waiting for stranded ranks to return.
+// Callers match it with errors.Is.
+var ErrAborted = errors.New("rcce: rank aborted")
 
 // Flag area layout: each rank's 8 KB MPB half reserves the top
 // 2*MaxRanks bytes for the sent/ready flag arrays, indexed by peer rank.
@@ -91,6 +100,10 @@ type Session struct {
 	// panics on different kernels never race); Run reports the
 	// lowest-rank error.
 	errs []error
+
+	// procs holds each launched rank's simulated process (nil before
+	// Launch), so a supervisor can Abort stranded ranks.
+	procs []*sim.Proc
 }
 
 // Option configures a session.
@@ -156,6 +169,7 @@ func NewSession(k *sim.Kernel, chips []*scc.Chip, places []Place, opts ...Option
 		places:     places,
 		barrierGen: make([]byte, len(places)),
 		errs:       make([]error, len(places)),
+		procs:      make([]*sim.Proc, len(places)),
 	}
 	for _, o := range opts {
 		o(s)
@@ -228,7 +242,7 @@ func (s *Session) Launch(rank int, program func(*Rank)) {
 	pl := s.places[rank]
 	chip := s.chips[pl.Dev]
 	name := fmt.Sprintf("rank%03d(d%d.c%02d)", rank, pl.Dev, pl.Core)
-	chip.Launch(pl.Core, name, func(ctx *scc.Ctx) {
+	s.procs[rank] = chip.Launch(pl.Core, name, func(ctx *scc.Ctx) {
 		r := &Rank{s: s, id: rank, ctx: ctx}
 		r.initMPB()
 		defer func() {
@@ -267,6 +281,21 @@ func (s *Session) Run(program func(*Rank)) error {
 		}
 	}
 	return driveErr
+}
+
+// Abort kills every launched rank process that has not finished, with an
+// error wrapping both cause and ErrAborted. Each killed rank unwinds at
+// its next resume point (Proc.Kill), so ranks parked forever on a lost
+// peer's flags terminate deterministically at the abort cycle; Launch's
+// recovery records the error as the rank's terminal status. Finished
+// ranks are untouched. Must be called from kernel context.
+func (s *Session) Abort(cause error) {
+	err := fmt.Errorf("%w: %v", ErrAborted, cause)
+	for _, p := range s.procs {
+		if p != nil {
+			p.Kill(err)
+		}
+	}
 }
 
 // Err returns the lowest-rank error recorded by ranks launched with

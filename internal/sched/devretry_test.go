@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vscc/internal/fault"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+	"vscc/internal/vscc"
+)
+
+// newFaultRig builds a 2-device VDMA system with a device-crash schedule
+// armed and a scheduler over it. The wait budget is tightened so device
+// loss is detected well before the rejoin.
+func newFaultRig(t *testing.T, faults *fault.Config, opts Options) (*sim.Kernel, *vscc.System, *Scheduler, *trace.Sink) {
+	t.Helper()
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: vscc.SchemeVDMA, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := trace.NewSink(k)
+	sys.Instrument(sink)
+	return k, sys, New(sys, sink, opts), sink
+}
+
+// crashConfig schedules devcrash faults with fast loss detection: the
+// tight base budget bounds how long a wait runs before it re-checks
+// membership, and the deep ladder keeps legitimately slow ring waits
+// (the serialized 60-rank exchange takes ~5M cycles) from exhausting.
+func crashConfig(crashes ...fault.DeviceFault) *fault.Config {
+	return &fault.Config{
+		Seed:         11,
+		DevCrashAt:   crashes,
+		CkptInterval: 50_000,
+		Recovery:     fault.Recovery{WaitBudget: 100_000, MaxWaitRetries: 8},
+	}
+}
+
+// spanJob is a traffic ring across both devices: 60 ranks put 48 on
+// device 0 and 12 on device 1, so a device-1 crash strands cross-device
+// waiters with rcce.ErrDeviceLost.
+func spanJob(name string, submit sim.Cycles, reps int) JobSpec {
+	return JobSpec{Tenant: 1, Name: name, Submit: submit, Kind: KindTraffic,
+		Ranks: 60, Scheme: vscc.SchemeVDMA, Size: 4096, Reps: reps}
+}
+
+// runToTerminal drives the kernel; a deadlock report is tolerated only
+// when every job is terminal (stranded ranks of a reaped job).
+func runToTerminal(t *testing.T, k *sim.Kernel, s *Scheduler) {
+	t.Helper()
+	err := k.Run()
+	if !s.AllTerminal() {
+		t.Fatalf("jobs left non-terminal (kernel: %v)", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "deadlock") {
+		t.Fatal(err)
+	}
+}
+
+// devRetryLedger renders everything the determinism comparison cares
+// about: job outcomes with cycle stamps plus the full metrics report.
+func devRetryLedger(sink *trace.Sink, results []Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "job %s submit=%d admit=%d done=%d status=%s retries=%d leaked=%v devs=%v\n",
+			r.Spec.Name, r.Submit, r.Admit, r.Done, r.Status, r.Retries, r.Leaked, r.Devices())
+	}
+	b.WriteString(sink.MetricsReport())
+	return b.String()
+}
+
+// TestDevRetryRequeuesAfterRejoin: a spanning job of a devretry tenant
+// loses device 1 mid-run. The job must be aborted, torn down without
+// leaking a single core, requeued once the device's rejoin replay
+// quiesces, and finish StatusOK — byte-identically across reruns.
+func TestDevRetryRequeuesAfterRejoin(t *testing.T) {
+	run := func() (string, Result, Capacity, *trace.Sink) {
+		cfg := crashConfig(fault.DeviceFault{At: 100_000, Dev: 1, Down: 300_000})
+		k, _, s, sink := newFaultRig(t, cfg, Options{})
+		addTenants(t, s, TenantSpec{ID: 1, DevRetry: 1})
+		if err := s.Submit([]JobSpec{spanJob("span", 0, 3)}); err != nil {
+			t.Fatal(err)
+		}
+		runToTerminal(t, k, s)
+		res := s.Results()[0]
+		return devRetryLedger(sink, s.Results()), res, s.Capacity(), sink
+	}
+
+	ledger, res, cap1, sink := run()
+	if res.Status != StatusOK {
+		t.Fatalf("job finished %v, want ok (err %v)", res.Status, res.Err)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1", res.Retries)
+	}
+	if res.Leaked {
+		t.Error("recovered job marked leaked")
+	}
+	if len(res.LostDevs) != 1 || res.LostDevs[0] != 1 {
+		t.Errorf("LostDevs = %v, want [1] (the crash the job survived)", res.LostDevs)
+	}
+	// The crash fires at 100k, drains 50k, stays down 300k: the requeued
+	// admission cannot predate the rejoin at 450k.
+	if res.Admit < 450_000 {
+		t.Errorf("requeued admission at %d, before the device rejoin at 450000", res.Admit)
+	}
+	for d, free := range cap1.FreeCores {
+		if free != 48 {
+			t.Errorf("device %d has %d free cores after recovery, want 48 (leak)", d, free)
+		}
+	}
+	for name, want := range map[string]int64{
+		"sched.requeued":      1,
+		"sched.requeued.t001": 1,
+		"sched.requeued.d1":   1,
+		"sched.leaked_cores":  0,
+	} {
+		if got := sink.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	ledger2, _, _, _ := run()
+	if ledger != ledger2 {
+		t.Fatalf("devretry recovery not deterministic across reruns:\n--- first\n%s--- second\n%s", ledger, ledger2)
+	}
+}
+
+// TestDevRetryBudgetExhaustion: the second crash exceeds the tenant's
+// budget of one requeue; the job must fall back to the reap-with-leak
+// path with the exhaustion counted.
+func TestDevRetryBudgetExhaustion(t *testing.T) {
+	// The second crash lands mid-way through the requeued run (admitted
+	// shortly after the first rejoin at 450k; the ring takes ~5M cycles)
+	// and stays down long enough that the loss is detected while the
+	// device is still out, so the exhaustion mirrors land on d1.
+	cfg := crashConfig(
+		fault.DeviceFault{At: 100_000, Dev: 1, Down: 300_000},
+		fault.DeviceFault{At: 2_000_000, Dev: 1, Down: 2_000_000},
+	)
+	k, _, s, sink := newFaultRig(t, cfg, Options{FailGrace: 200_000})
+	addTenants(t, s, TenantSpec{ID: 1, DevRetry: 1})
+	if err := s.Submit([]JobSpec{spanJob("span", 0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	runToTerminal(t, k, s)
+	res := s.Results()[0]
+	if res.Status != StatusDeviceLost {
+		t.Fatalf("job finished %v, want device-lost (err %v)", res.Status, res.Err)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (first crash consumed the budget)", res.Retries)
+	}
+	if !res.Leaked {
+		t.Error("exhausted job not marked leaked")
+	}
+	for name, want := range map[string]int64{
+		"sched.requeued":             1,
+		"sched.retry_exhausted":      1,
+		"sched.retry_exhausted.t001": 1,
+		"sched.retry_exhausted.d1":   1,
+	} {
+		if got := sink.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestDevRetryBackToBackCrash: a second crash of the same device landing
+// during the first outage's drain window is void at the membership layer
+// (no second epoch); the devretry tenant must still recover with a
+// single requeue.
+func TestDevRetryBackToBackCrash(t *testing.T) {
+	cfg := crashConfig(
+		fault.DeviceFault{At: 100_000, Dev: 1, Down: 300_000},
+		fault.DeviceFault{At: 120_000, Dev: 1, Down: 300_000}, // lands mid-drain: void
+	)
+	k, sys, s, sink := newFaultRig(t, cfg, Options{})
+	addTenants(t, s, TenantSpec{ID: 1, DevRetry: 2})
+	if err := s.Submit([]JobSpec{spanJob("span", 0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	runToTerminal(t, k, s)
+	res := s.Results()[0]
+	if res.Status != StatusOK {
+		t.Fatalf("job finished %v, want ok (err %v)", res.Status, res.Err)
+	}
+	if res.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (second crash was void)", res.Retries)
+	}
+	if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+		t.Errorf("inject.devcrash = %d, want 1 (void fault must not inject)", got)
+	}
+	if got := sink.CounterValue("epoch.advance.d1"); got != 1 {
+		t.Errorf("epoch.advance.d1 = %d, want 1", got)
+	}
+	for d, free := range s.Capacity().FreeCores {
+		if free != 48 {
+			t.Errorf("device %d has %d free cores after recovery, want 48", d, free)
+		}
+	}
+}
+
+// TestDevRetryDisabledKeepsReapPath: without a budget the pre-existing
+// reap-with-leak behaviour is unchanged.
+func TestDevRetryDisabledKeepsReapPath(t *testing.T) {
+	cfg := crashConfig(fault.DeviceFault{At: 100_000, Dev: 1, Down: 300_000})
+	k, _, s, sink := newFaultRig(t, cfg, Options{FailGrace: 200_000})
+	addTenants(t, s, TenantSpec{ID: 1})
+	if err := s.Submit([]JobSpec{spanJob("span", 0, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	runToTerminal(t, k, s)
+	res := s.Results()[0]
+	if res.Status != StatusDeviceLost {
+		t.Fatalf("job finished %v, want device-lost (err %v)", res.Status, res.Err)
+	}
+	if !res.Leaked {
+		t.Error("reaped job not marked leaked")
+	}
+	if got := sink.CounterValue("sched.requeued"); got != 0 {
+		t.Errorf("sched.requeued = %d, want 0 with devretry disabled", got)
+	}
+	if got := sink.CounterValue("sched.leaked_cores"); got == 0 {
+		t.Error("sched.leaked_cores = 0, want stranded ranks counted")
+	}
+}

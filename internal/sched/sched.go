@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"vscc/internal/host"
 	"vscc/internal/mem"
@@ -48,6 +49,13 @@ type TenantSpec struct {
 	// disables caching accounting for the tenant (its cached regions
 	// are unpartitioned).
 	CacheLines int
+	// DevRetry is the per-job device-loss retry budget: a job of this
+	// tenant whose session fails with rcce.ErrDeviceLost is aborted,
+	// fully torn down (no leaked cores) and requeued once the lost
+	// devices rejoin and their journal replay quiesces — at most
+	// DevRetry times per job, after which the job is reaped as usual.
+	// 0 (the default) keeps the reap-with-leak behaviour.
+	DevRetry int
 }
 
 // Kind names a job's program.
@@ -137,6 +145,14 @@ type Result struct {
 	// (stranded peers of a lost device); its cores were not returned to
 	// the free pool.
 	Leaked bool
+	// Retries counts how many times the job was requeued by its
+	// tenant's devretry budget after a device loss.
+	Retries int
+	// LostDevs are the devices whose loss triggered those requeues
+	// (sorted, distinct). Places reflects only the final placement, so
+	// this is how a recovered job stays attributable to the fault
+	// domain it survived (vsccd -assert-isolation).
+	LostDevs []int
 }
 
 // Devices returns the sorted distinct devices of the placement.
@@ -183,6 +199,7 @@ type tenant struct {
 	// Precomputed counter names (tracealloc: no dynamic names at record
 	// sites).
 	admitName, doneName, rejectName string
+	requeueName, exhaustName        string
 }
 
 type job struct {
@@ -195,6 +212,19 @@ type job struct {
 	sess      *rcce.Session
 	remaining int
 	reaped    bool
+
+	// devretry state: retryDecided latches the first failing rank's
+	// recovery decision (retry vs reap); retrying marks the job parked
+	// until its lost devices rejoin; awaiting counts placement devices
+	// whose post-rejoin replay has not finished; retries counts
+	// requeues consumed against the tenant budget; lostDevs are the
+	// placement devices that were lost at decision time (for the
+	// per-device counter mirrors).
+	retryDecided bool
+	retrying     bool
+	awaiting     int
+	retries      int
+	lostDevs     []int
 }
 
 // Scheduler owns the admission queue and capacity pools of one vSCC.
@@ -262,7 +292,7 @@ func (s *Scheduler) AddTenant(ts TenantSpec) error {
 	if _, ok := s.tenants[ts.ID]; ok {
 		return fmt.Errorf("sched: tenant %d registered twice", ts.ID)
 	}
-	if ts.CacheLines < 0 || ts.BWBytesPerCycle < 0 {
+	if ts.CacheLines < 0 || ts.BWBytesPerCycle < 0 || ts.DevRetry < 0 {
 		return fmt.Errorf("sched: tenant %d has a negative QoS parameter", ts.ID)
 	}
 	if ts.CacheLines > s.cacheFree {
@@ -272,11 +302,13 @@ func (s *Scheduler) AddTenant(ts TenantSpec) error {
 	s.cacheFree -= ts.CacheLines
 	tag := trace.TenantTag(ts.ID)
 	t := &tenant{
-		spec:       ts,
-		track:      s.sink.Track("sched", tag),
-		admitName:  "sched.admit." + tag,
-		doneName:   "sched.done." + tag,
-		rejectName: "sched.reject." + tag,
+		spec:        ts,
+		track:       s.sink.Track("sched", tag),
+		admitName:   "sched.admit." + tag,
+		doneName:    "sched.done." + tag,
+		rejectName:  "sched.reject." + tag,
+		requeueName: "sched.requeued." + tag,
+		exhaustName: "sched.retry_exhausted." + tag,
 	}
 	s.tenants[ts.ID] = t
 	s.tenantIDs = append(s.tenantIDs, ts.ID)
@@ -500,26 +532,190 @@ func (s *Scheduler) start(j *job, places []rcce.Place, lut []int) {
 	for rank := 0; rank < j.spec.Ranks; rank++ {
 		rank := rank
 		sess.Launch(rank, func(r *rcce.Rank) {
-			defer s.rankDone(j)
+			// The session records a rank's panic only after this defer
+			// unwinds, so the first failing rank would read a nil
+			// sess.Err(); hand rankDone the panic value itself and
+			// re-panic for the session's own bookkeeping.
+			defer func() {
+				if rec := recover(); rec != nil {
+					err, ok := rec.(error)
+					if !ok {
+						err = fmt.Errorf("rank %d: %v", rank, rec)
+					}
+					s.rankDone(j, err)
+					panic(rec)
+				}
+				s.rankDone(j, nil)
+			}()
 			program(r)
 		})
 	}
 }
 
-// rankDone runs as each rank's last deferred action (panics included).
-func (s *Scheduler) rankDone(j *job) {
+// rankDone runs as each rank's last deferred action; err is the rank's
+// own failure (nil for a clean return). The recovery decision cannot
+// consult sess.Err() here: the deciding rank is usually the first
+// failure, whose error the session records only after this call.
+func (s *Scheduler) rankDone(j *job, err error) {
 	j.remaining--
 	if j.remaining == 0 {
+		if j.retrying {
+			if j.awaiting == 0 {
+				// The lost devices already rejoined (the abort path);
+				// requeue once this rank has fully unwound.
+				s.k.At(s.k.Now(), func() { s.requeue(j) })
+			}
+			// awaiting > 0: the rejoin hook requeues when it fires.
+			return
+		}
 		if !j.reaped {
 			s.k.At(s.k.Now(), func() { s.finish(j, j.sess.Err()) })
 		}
 		return
 	}
-	if j.sess.Err() != nil && !j.reaped {
+	if err != nil && !j.reaped && !j.retryDecided {
+		j.retryDecided = true
+		if s.devRetryEligible(j, err) {
+			s.parkForRetry(j)
+			return
+		}
 		// A rank failed; peers parked on its flags may never return.
 		// Arm a reaper so the job reaches a terminal state even then.
 		s.k.After(s.opts.FailGrace, func() { s.reap(j) })
 	}
+}
+
+// devRetryEligible decides the recovery path for a job whose first rank
+// just failed: requeue (tenant budget left, device-loss error, a
+// membership layer to wait on) or reap. An exhausted budget is counted
+// here, once per exhaustion.
+func (s *Scheduler) devRetryEligible(j *job, err error) bool {
+	t := s.tenants[j.spec.Tenant]
+	if t.spec.DevRetry <= 0 || s.sys.Membership == nil || !errors.Is(err, rcce.ErrDeviceLost) {
+		return false
+	}
+	if j.retries >= t.spec.DevRetry {
+		s.sink.Add("sched.retry_exhausted", 1)
+		s.sink.Add(t.exhaustName, 1)
+		for _, d := range s.lostPlacementDevs(j) {
+			s.devMirror("sched.retry_exhausted", d, 1)
+		}
+		return false
+	}
+	return true
+}
+
+// lostPlacementDevs returns the job's placement devices that are not
+// quiesced right now — the devices whose loss the retry is charged to.
+func (s *Scheduler) lostPlacementDevs(j *job) []int {
+	var lost []int
+	for _, d := range j.res.Devices() {
+		if !s.sys.Membership.Quiesced(d) {
+			lost = append(lost, d)
+		}
+	}
+	return lost
+}
+
+// devMirror records the per-device mirror of a scheduler counter. The
+// dynamic name is only built once the sink is known enabled
+// (tracealloc).
+func (s *Scheduler) devMirror(name string, dev int, v int64) {
+	if !s.sink.Enabled() {
+		return
+	}
+	s.sink.Add(name+".d"+strconv.Itoa(dev), v)
+}
+
+// parkForRetry parks a failing job until every placement device is back
+// up with its rejoin journal replay finished. Hooks on already-quiesced
+// devices fire at the current cycle, so the job waits exactly for the
+// lost ones; reclaiming cores any earlier would race the replay, which
+// re-lands pre-crash frames on the restored memory.
+func (s *Scheduler) parkForRetry(j *job) {
+	j.retrying = true
+	j.lostDevs = s.lostPlacementDevs(j)
+	devs := j.res.Devices()
+	j.awaiting = len(devs)
+	for _, d := range devs {
+		s.sys.Membership.AfterReplay(d, func() { s.rejoined(j) })
+	}
+}
+
+// rejoined is the per-device rejoin hook of a parked job. Once the last
+// placement device quiesces, the job's surviving ranks are aborted (they
+// are parked on flags of the dead session and would otherwise strand
+// forever); their unwinding drives remaining to zero, which requeues.
+// A device lost again while the job waited re-arms its hook.
+func (s *Scheduler) rejoined(j *job) {
+	j.awaiting--
+	if j.awaiting > 0 {
+		return
+	}
+	for _, d := range j.res.Devices() {
+		if !s.sys.Membership.Quiesced(d) {
+			j.awaiting++
+			s.sys.Membership.AfterReplay(d, func() { s.rejoined(j) })
+		}
+	}
+	if j.awaiting > 0 {
+		return
+	}
+	if j.remaining > 0 {
+		j.sess.Abort(fmt.Errorf("sched: job %q tenant %d requeued after device rejoin", j.spec.Name, j.spec.Tenant))
+		return
+	}
+	s.k.At(s.k.Now(), func() { s.requeue(j) })
+}
+
+// requeue tears a parked job's dead session down — releasing cores,
+// MPB flag areas, LUT slots, host regions and tenant bindings exactly
+// like a clean finish — and re-enqueues the job for admission at the
+// current cycle, charging one unit of the tenant's devretry budget.
+func (s *Scheduler) requeue(j *job) {
+	if !j.retrying || j.remaining != 0 {
+		return
+	}
+	j.retrying = false
+	j.retryDecided = false
+	t := s.tenants[j.spec.Tenant]
+	s.sys.ReleaseRegions(j.places)
+	for _, pl := range j.places {
+		s.sys.Task.UnbindCore(pl.Dev, pl.Core)
+		// Retire before wiping: any write the dead ranks (or the rejoin
+		// replay of their journaled frames) still have in flight must
+		// not land on these MPB bytes once a successor session owns them.
+		s.sys.Task.RetireCore(pl.Dev, pl.Core)
+		s.wipeFlags(pl)
+	}
+	s.mpbInUse -= len(j.places) * rcce.PayloadBytes
+	for _, pl := range j.places {
+		s.free[pl.Dev] = insertSorted(s.free[pl.Dev], pl.Core)
+	}
+	for d, n := range j.lutCharge {
+		s.lutFree[d] += n
+	}
+	j.lutCharge = nil
+	s.running--
+	s.sink.Gauge("sched.running", int64(s.running))
+	j.retries++
+	j.res.Retries = j.retries
+	j.res.Status = StatusPending
+	j.res.Admit = NoCycle
+	j.res.Places = nil
+	j.places = nil
+	j.sess = nil
+	s.sink.Add("sched.requeued", 1)
+	s.sink.Add(t.requeueName, 1)
+	for _, d := range j.lostDevs {
+		s.devMirror("sched.requeued", d, 1)
+		if i := sort.SearchInts(j.res.LostDevs, d); i == len(j.res.LostDevs) || j.res.LostDevs[i] != d {
+			j.res.LostDevs = insertSorted(j.res.LostDevs, d)
+		}
+	}
+	j.lostDevs = nil
+	s.pending = append(s.pending, j)
+	s.tryAdmit()
 }
 
 // reap force-finishes a job whose surviving ranks are stranded. Their
@@ -565,6 +761,10 @@ func (s *Scheduler) finish(j *job, err error) {
 		}
 		for _, pl := range j.places {
 			s.sys.Task.UnbindCore(pl.Dev, pl.Core)
+			// Even a clean finish can leave posted flag writes in flight
+			// (a sender never awaits its own final vDMA completion flag);
+			// retire the core so they cannot land on a successor session.
+			s.sys.Task.RetireCore(pl.Dev, pl.Core)
 			s.wipeFlags(pl)
 		}
 		s.mpbInUse -= len(j.places) * rcce.PayloadBytes

@@ -167,6 +167,12 @@ func parseTenant(kv *kvMap) (TenantSpec, error) {
 	if ts.CacheLines, err = kv.integer("cache", 0); err != nil {
 		return ts, err
 	}
+	if ts.DevRetry, err = kv.integer("devretry", 0); err != nil {
+		return ts, err
+	}
+	if ts.DevRetry < 0 {
+		return ts, fmt.Errorf("devretry=%d is negative", ts.DevRetry)
+	}
 	return ts, kv.leftover()
 }
 

@@ -65,7 +65,7 @@ func (c *Cond) ArmTimeout(d Cycles) *Timeout {
 		t.fired = true
 		for i := c.head; i < len(c.waiters); i++ {
 			w := c.waiters[i]
-			if w.to == t && w.p != nil {
+			if w.to == t && w.p != nil && w.p.state == procBlocked {
 				c.waiters[i] = condWaiter{}
 				w.p.unpark()
 				return
@@ -120,13 +120,15 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 }
 
 // Signal wakes the longest-waiting process, if any. Slots emptied by an
-// expired Timeout are skipped.
+// expired Timeout are skipped, as are stale slots whose process was
+// woken out from under the wait by Proc.Kill (the slot stays behind;
+// the process is no longer blocked).
 func (c *Cond) Signal() {
 	for c.head < len(c.waiters) {
 		w := c.waiters[c.head]
 		c.waiters[c.head] = condWaiter{} // release for the GC
 		c.head++
-		if w.p != nil {
+		if w.p != nil && w.p.state == procBlocked {
 			w.p.unpark()
 			return
 		}
@@ -140,7 +142,7 @@ func (c *Cond) Broadcast() {
 	c.head = 0
 	for i, w := range ws {
 		ws[i] = condWaiter{}
-		if w.p != nil {
+		if w.p != nil && w.p.state == procBlocked {
 			w.p.unpark()
 		}
 	}

@@ -237,6 +237,13 @@ type Proc struct {
 	// blockReason is a human-readable description of what the process is
 	// waiting for; it appears in deadlock reports.
 	blockReason string
+
+	// killErr, when non-nil, aborts the process: the next time it would
+	// resume simulated execution it panics with this error instead. The
+	// process's own recover (if any) may translate the panic into a
+	// terminal status; runBody otherwise swallows it, so a kill is never
+	// reported as a kernel panic. Set via Kill.
+	killErr error
 }
 
 // Name returns the name the process was spawned with.
@@ -471,7 +478,11 @@ func (k *Kernel) dispatch(p *Proc) error {
 func (k *Kernel) runBody(p *Proc) {
 	defer func() {
 		if r := recover(); r != nil {
-			k.panics = append(k.panics, fmt.Errorf("sim: process %q panicked: %v", p.name, r))
+			// A kill sentinel that unwound the whole body (no handler
+			// recovered it) is an orderly abort, not a crash.
+			if err, ok := r.(error); !ok || p.killErr == nil || err != p.killErr {
+				k.panics = append(k.panics, fmt.Errorf("sim: process %q panicked: %v", p.name, r))
+			}
 		}
 		p.state = procDone
 		if !p.daemon {
@@ -481,6 +492,7 @@ func (k *Kernel) runBody(p *Proc) {
 		// never a direct handoff — so panics surface immediately.
 		k.yield <- struct{}{}
 	}()
+	p.checkKill() // killed before its first dispatch: abort without running
 	p.body(p)
 }
 
@@ -526,6 +538,7 @@ func (k *Kernel) deadlockError() error {
 // Delay advances the process by d cycles of simulated time. A Delay of
 // zero yields to other work scheduled at the current instant.
 func (p *Proc) Delay(d Cycles) {
+	p.checkKill()
 	k := p.k
 	at := k.now + d
 	// Inline continuation fast path: when the process's own wakeup would
@@ -554,15 +567,18 @@ func (p *Proc) Delay(d Cycles) {
 	k.schedule(at, p, nil)
 	k.yieldTo() // hand the token on
 	<-p.run     // wait for it again
+	p.checkKill()
 }
 
 // park blocks the process without scheduling a wakeup; something else must
 // eventually call unpark. reason appears in deadlock reports.
 func (p *Proc) park(reason string) {
+	p.checkKill()
 	p.state = procBlocked
 	p.blockReason = reason
 	p.k.yieldTo()
 	<-p.run
+	p.checkKill()
 }
 
 // Park blocks the process without scheduling a wakeup; something else
@@ -575,6 +591,37 @@ func (p *Proc) Park(reason string) { p.park(reason) }
 // time. It must be called from kernel context on the process's own
 // kernel (another process's body or a callback).
 func (p *Proc) Unpark() { p.unpark() }
+
+// Kill aborts the process with err: at its next resume point (park
+// wakeup, Delay expiry, or first dispatch for a process that has not
+// started) it panics with err instead of continuing. A blocked process
+// is woken immediately, so a rank parked forever on a lost peer unwinds
+// at the kill cycle. The panic unwinds the process body through its
+// deferred handlers — a body that recovers the exact err value turns
+// the kill into a normal return; otherwise runBody swallows it, so a
+// kill never aborts the kernel run. Killing a finished process is a
+// no-op; a second Kill keeps the first error. Must be called from
+// kernel context (another process's body or a callback) on the
+// process's own kernel.
+func (p *Proc) Kill(err error) {
+	if err == nil {
+		panic("sim: Kill with nil error")
+	}
+	if p.state == procDone || p.killErr != nil {
+		return
+	}
+	p.killErr = err
+	if p.state == procBlocked {
+		p.unpark()
+	}
+}
+
+// checkKill delivers a pending kill at a resume point.
+func (p *Proc) checkKill() {
+	if p.killErr != nil {
+		panic(p.killErr)
+	}
+}
 
 // unpark schedules p to resume at the current simulated time. It must be
 // called from kernel context (another process's body or a callback).

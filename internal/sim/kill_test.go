@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestKillWakesParkedProcess: a process parked forever unwinds with the
+// kill error at the kill cycle, and the run completes without treating
+// the unwound body as a kernel panic.
+func TestKillWakesParkedProcess(t *testing.T) {
+	k := NewKernel()
+	errKill := errors.New("abort")
+	var got error
+	var at Cycles
+	p := k.Spawn("victim", func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				got = r.(error)
+				at = p.Now()
+			}
+		}()
+		p.Park("forever")
+		t.Error("victim resumed past its park")
+	})
+	k.At(100, func() { p.Kill(errKill) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != errKill {
+		t.Fatalf("recovered %v, want %v", got, errKill)
+	}
+	if at != 100 {
+		t.Errorf("killed at cycle %d, want 100", at)
+	}
+}
+
+// TestKillWithoutRecoverIsNotAKernelPanic: a body with no recover of its
+// own unwinds cleanly; Run reports neither a panic nor a deadlock.
+func TestKillWithoutRecoverIsNotAKernelPanic(t *testing.T) {
+	k := NewKernel()
+	p := k.Spawn("victim", func(p *Proc) {
+		p.Park("forever")
+	})
+	k.At(10, func() { p.Kill(errors.New("abort")) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestKillDelayedProcess: a pending kill is delivered when a Delay
+// expires, including across the inline continuation fast path.
+func TestKillDelayedProcess(t *testing.T) {
+	k := NewKernel()
+	errKill := errors.New("abort")
+	var got error
+	p := k.Spawn("victim", func(p *Proc) {
+		defer func() { got, _ = recover().(error) }()
+		for {
+			p.Delay(7)
+		}
+	})
+	k.At(100, func() { p.Kill(errKill) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != errKill {
+		t.Fatalf("recovered %v, want %v", got, errKill)
+	}
+}
+
+// TestKillCondWaiterLeavesStaleSlotSafe: killing a process parked on a
+// Cond leaves its waiter slot behind; later Signal and Broadcast calls
+// must skip the stale slot (not unpark a non-blocked process) and still
+// deliver the wakeup to a live waiter.
+func TestKillCondWaiterLeavesStaleSlotSafe(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "c")
+	var lateWoken bool
+	k.Spawn("victim", func(p *Proc) {
+		c.Wait(p)
+		t.Error("victim woke instead of dying")
+	})
+	k.Spawn("late", func(p *Proc) {
+		p.Delay(50) // parks on c after the kill below
+		c.Wait(p)
+		lateWoken = true
+	})
+	k.Spawn("killer", func(p *Proc) {
+		p.Delay(10)
+		for _, q := range k.procs {
+			if q.name == "victim" {
+				q.Kill(errors.New("abort"))
+			}
+		}
+		p.Delay(100)
+		c.Signal() // must skip the victim's stale slot
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lateWoken {
+		t.Error("late waiter never received the signal")
+	}
+}
+
+// TestKillCondWaiterTimeoutSkipsStaleSlot: an armed Timeout whose waiter
+// was killed before the deadline must not unpark the dead process.
+func TestKillCondWaiterTimeoutSkipsStaleSlot(t *testing.T) {
+	k := NewKernel()
+	c := NewCond(k, "c")
+	var p *Proc
+	p = k.Spawn("victim", func(p *Proc) {
+		to := c.ArmTimeout(1000)
+		defer to.Cancel()
+		c.WaitOrTimeout(p, to)
+		t.Error("victim woke instead of dying")
+	})
+	k.At(10, func() { p.Kill(errors.New("abort")) })
+	if err := k.RunFor(5000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillBeforeFirstDispatch: killing a spawned-but-not-started process
+// aborts it without running its body.
+func TestKillBeforeFirstDispatch(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	p := k.SpawnAt(100, "victim", func(p *Proc) { ran = true })
+	k.At(0, func() { p.Kill(errors.New("abort")) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("killed process body ran")
+	}
+}
+
+// TestKillFinishedProcessIsNoop and double-kill keeps the first error.
+func TestKillIdempotence(t *testing.T) {
+	k := NewKernel()
+	err1, err2 := errors.New("first"), errors.New("second")
+	var got error
+	p := k.Spawn("victim", func(p *Proc) {
+		defer func() { got, _ = recover().(error) }()
+		p.Park("forever")
+	})
+	k.At(10, func() { p.Kill(err1); p.Kill(err2) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != err1 {
+		t.Fatalf("recovered %v, want the first kill error", got)
+	}
+	p.Kill(err2) // after procDone: must be a no-op
+}

@@ -1,0 +1,181 @@
+package taskrt
+
+import (
+	"fmt"
+	"testing"
+
+	"vscc/internal/fault"
+	"vscc/internal/rcce"
+	"vscc/internal/sim"
+	"vscc/internal/trace"
+	"vscc/internal/vscc"
+)
+
+// The task re-execution battery: with Config.Reexec armed, tasks homed
+// on a crashed device are re-issued on survivors from the last committed
+// region versions, and the run converges to the fault-free StateHash
+// WITHOUT waiting for the device to rejoin. The outage below is 20M
+// cycles long precisely so "converged before rejoin" is unambiguous:
+// the stencil finishes in well under 1M cycles when re-execution works.
+
+// reexecSpec crashes device 1 at 80k and keeps it down for 20M cycles.
+const reexecSpec = "seed=5,devcrash=80000:1:20000000,ckpt=30000,devretry=1"
+
+// reexecDownEnd is the earliest cycle the crashed device can be up
+// again: crash + drain + down window (journal replay only adds to it).
+const reexecDownEnd = sim.Cycles(80_000) + fault.DefaultDrainCycles + sim.Cycles(20_000_000)
+
+// reexecRun executes the stencil with a sink attached and re-execution
+// set per the flag. Membership is only wired into the runtime when the
+// system built one (a typed-nil interface would defeat the nil gate).
+func reexecRun(t *testing.T, spec string, reexec bool) (*Runtime, *vscc.System, *trace.Sink, sim.Cycles) {
+	t.Helper()
+	fcfg, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	if fcfg != nil && reexec {
+		// Re-execution needs fail-fast waits: DeviceRetry off turns a
+		// wait on a lost device into an rcce.ErrDeviceLost panic the
+		// runtime absorbs at the task boundary, instead of parking the
+		// survivor in AwaitUp until the rejoin.
+		fcfg.Recovery = fault.Recovery{WaitBudget: 100_000, MaxWaitRetries: 8}
+	}
+	k := sim.NewKernel()
+	sys, err := vscc.NewSystem(k, vscc.Config{Devices: 2, Scheme: vscc.SchemeVDMA, Faults: fcfg})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	sink := trace.NewSink(k)
+	sys.Instrument(sink)
+	session, err := sys.NewSessionAt([]rcce.Place{
+		{Dev: 0, Core: 0}, {Dev: 1, Core: 0}, {Dev: 0, Core: 1}, {Dev: 1, Core: 1},
+	}, rcce.WithSink(sink))
+	if err != nil {
+		t.Fatalf("NewSessionAt: %v", err)
+	}
+	cfg := Config{Scheme: vscc.SchemeVDMA, Reexec: reexec}
+	if sys.Membership != nil {
+		cfg.Membership = sys.Membership
+	}
+	rt := New(cfg)
+	if err := Build(rt, "stencil", 4, 6, 4); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := rt.Run(session); err != nil {
+		t.Fatalf("Run under %q: %v", spec, err)
+	}
+	return rt, sys, sink, k.Now()
+}
+
+// reexecDigest renders everything observable about one re-execution
+// run, for byte-identity comparison across reruns.
+func reexecDigest(rt *Runtime, sys *vscc.System, sink *trace.Sink, end sim.Cycles) string {
+	s := rt.Stats()
+	return faultDigest(rt, sys, end) + fmt.Sprintf(
+		"done=%d reexecs=%d latedrops=%d rehomes=%d abandons=%d\nctr reexec=%d reexec.d1=%d rehome=%d late=%d\n",
+		rt.CompletedAt(), s.Reexecs, s.LateDrops, s.Rehomes, s.Abandons,
+		sink.CounterValue("taskrt.reexec"), sink.CounterValue("taskrt.reexec.d1"),
+		sink.CounterValue("taskrt.rehome"), sink.CounterValue("taskrt.late_drop"))
+}
+
+// TestTaskrtReexecConvergesBeforeRejoin is the acceptance test for task
+// re-execution: the stencil loses half its ranks to a 20M-cycle outage,
+// yet the surviving ranks finish every task — byte-identical to both
+// the fault-free parallel run and the serial reference — while the
+// device is still down. The whole record reruns byte-identically.
+func TestTaskrtReexecConvergesBeforeRejoin(t *testing.T) {
+	cleanRt, _, _, _ := reexecRun(t, "", true)
+	want := cleanRt.StateHash()
+
+	rt, sys, sink, end := reexecRun(t, reexecSpec, true)
+	if got := rt.StateHash(); got != want {
+		t.Errorf("re-executed run diverged from the fault-free hash")
+	}
+	done := rt.CompletedAt()
+	if done == 0 {
+		t.Fatal("CompletedAt = 0; completion cycle never recorded")
+	}
+	if done >= reexecDownEnd {
+		t.Errorf("last task committed at %d, after the earliest rejoin %d; re-execution stalled until rejoin",
+			done, reexecDownEnd)
+	}
+	s := rt.Stats()
+	if s.Reexecs == 0 {
+		t.Error("Reexecs = 0; no task was re-issued off the lost device")
+	}
+	if got := sink.CounterValue("taskrt.reexec"); got != int64(s.Reexecs) {
+		t.Errorf("taskrt.reexec counter = %d, stats say %d", got, s.Reexecs)
+	}
+	if got := sink.CounterValue("taskrt.reexec.d1"); got != int64(s.Reexecs) {
+		t.Errorf("taskrt.reexec.d1 = %d, want %d (every lost task was homed on device 1)", got, s.Reexecs)
+	}
+	if got := sys.Injector.Stat("inject.devcrash"); got != 1 {
+		t.Errorf("inject.devcrash = %d, want 1", got)
+	}
+
+	// Serial reference: same decomposition, no runtime at all.
+	ref := New(Config{})
+	if err := Build(ref, "stencil", 4, 6, 4); err != nil {
+		t.Fatalf("Build(ref): %v", err)
+	}
+	if err := ref.RunSerial(4); err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	if rt.StateHash() != ref.StateHash() {
+		t.Error("re-executed stencil diverged from the serial reference")
+	}
+
+	first := reexecDigest(rt, sys, sink, end)
+	rt2, sys2, sink2, end2 := reexecRun(t, reexecSpec, true)
+	if second := reexecDigest(rt2, sys2, sink2, end2); second != first {
+		t.Errorf("re-execution not deterministic across reruns:\nfirst:\n%s\nrerun:\n%s", first, second)
+	}
+}
+
+// TestTaskrtReexecStaleDuplicateDropped pins the first bug the chaos
+// campaign found (seed 1, point 17, shrunk to this single fault): a
+// crash at 40k catches a task mid-flight whose executor — on the lost
+// device but never truly frozen, since fail-fast waits only panic at
+// chip operations — finishes the task after reclaim already re-issued
+// it. The duplicate queue entry must be dropped at dispatch, not
+// panic the worker.
+func TestTaskrtReexecStaleDuplicateDropped(t *testing.T) {
+	const spec = "seed=11,devcrash=40000:1:250000,ckpt=30000,devretry=1"
+	cleanRt, _, _, _ := reexecRun(t, "", true)
+	rt, _, sink, _ := reexecRun(t, spec, true)
+	if rt.StateHash() != cleanRt.StateHash() {
+		t.Error("stale-duplicate run diverged from the fault-free hash")
+	}
+	s := rt.Stats()
+	if s.StalePops == 0 {
+		t.Error("StalePops = 0; the duplicate dispatch this spec provokes was not recorded")
+	}
+	if got := sink.CounterValue("taskrt.stale_pop"); got != int64(s.StalePops) {
+		t.Errorf("taskrt.stale_pop counter = %d, stats say %d", got, s.StalePops)
+	}
+}
+
+// TestTaskrtReexecDisabledStallsUntilRejoin pins the contrast: the same
+// outage without Reexec leaves tasks frozen with their executors, so
+// the last commit cannot predate the rejoin — and the default path must
+// record zero re-execution activity.
+func TestTaskrtReexecDisabledStallsUntilRejoin(t *testing.T) {
+	rt, _, sink, _ := reexecRun(t, reexecSpec, false)
+	done := rt.CompletedAt()
+	if done == 0 {
+		t.Fatal("CompletedAt = 0; completion cycle never recorded")
+	}
+	if done < reexecDownEnd {
+		t.Errorf("last task committed at %d, before the rejoin at %d; stall path re-executed something",
+			done, reexecDownEnd)
+	}
+	s := rt.Stats()
+	if s.Reexecs != 0 || s.LateDrops != 0 || s.Rehomes != 0 {
+		t.Errorf("reexec disabled but stats = {reexecs=%d latedrops=%d rehomes=%d}, want all zero",
+			s.Reexecs, s.LateDrops, s.Rehomes)
+	}
+	if got := sink.CounterValue("taskrt.reexec"); got != 0 {
+		t.Errorf("taskrt.reexec = %d, want 0 with reexec disabled", got)
+	}
+}

@@ -29,7 +29,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"strconv"
 
 	"vscc/internal/rcce"
 	"vscc/internal/sim"
@@ -104,6 +106,15 @@ type Region struct {
 	// Dependence-tracker tail state during graph construction.
 	lastWriter   int // task id of the latest writer, -1 initially
 	readersSince []int
+	// writeSeq numbers the region's writers in construction order; each
+	// writing access carries its stamp (writeSeq at declaration), the
+	// version it is entitled to commit. See Runtime.publish.
+	writeSeq int
+	// committed trails version during a commit: version is claimed
+	// before the staging move yields, committed only once the bytes are
+	// in place. The gap is how a takeover detects a claimant that
+	// stalled (froze with its device) mid-commit.
+	committed int
 }
 
 // Name returns the region's unique name.
@@ -142,6 +153,10 @@ type Task struct {
 	pending int
 	state   int
 	home    int
+	// stamps[i] is the version accesses[i] commits (0 for pure reads):
+	// the exactly-once guard when device-loss re-execution races a
+	// thawed original (see publish).
+	stamps []int
 
 	// Execution record, for the property suite and reports.
 	executedBy int
@@ -170,6 +185,18 @@ type Stats struct {
 	LocalMoves int      // region arguments already resident at the worker
 	Moves      [3]int64 // remote moves by vscc.MoveClass
 	MovedBytes int64    // remote argument bytes staged through MPBs
+	Reexecs    int      // tasks re-issued off lost devices (Config.Reexec)
+	LateDrops  int      // stamped commits dropped by exactly-once (thawed originals)
+	Rehomes    int      // staging chunks re-routed around a lost owner rank
+	Abandons   int      // in-flight staging ops abandoned on loss, body retried
+	StalePops  int      // duplicate queue entries dropped at dispatch (reclaim raced a live original)
+}
+
+// MembershipView is the device-membership view task re-execution
+// consults (implemented by *vscc.Membership): Lost reports a device that
+// is down or mid-rejoin, i.e. currently unreachable.
+type MembershipView interface {
+	Lost(dev int) bool
 }
 
 // Config parameterizes a runtime.
@@ -182,6 +209,18 @@ type Config struct {
 	// 8000) and reset when work is found.
 	PollCycles    sim.Cycles
 	MaxPollCycles sim.Cycles
+	// Reexec enables task re-execution on device loss: tasks stranded
+	// running on a lost device's workers are rolled back and re-issued
+	// on survivors from the last committed region versions, staging
+	// toward lost owners re-homes to the next live rank, and the
+	// version-stamped commit keeps every task exactly-once when the
+	// thawed originals eventually resume. Off (the default), a device
+	// loss stalls the affected tasks until the rejoin replay completes —
+	// the pre-existing behaviour, byte-identical code paths.
+	Reexec bool
+	// Membership is the device view Reexec consults; a nil view
+	// disables re-execution even when Reexec is set (fault-free runs).
+	Membership MembershipView
 }
 
 // Runtime is one task graph plus its execution state. A Runtime is
@@ -201,6 +240,9 @@ type Runtime struct {
 	seq       int
 	execOrder []int
 	stats     Stats
+	// doneCycle is the kernel cycle the last task committed (valid after
+	// Run) — under re-execution it may precede the lost device's rejoin.
+	doneCycle sim.Cycles
 }
 
 // New creates an empty runtime.
@@ -282,7 +324,8 @@ func (rt *Runtime) AddTask(name string, flops float64, accs []Access, body func(
 		}
 	}
 	t := &Task{id: len(rt.tasks), name: name, flops: flops, accesses: accs, body: body, executedBy: -1}
-	for _, a := range accs {
+	t.stamps = make([]int, len(accs))
+	for i, a := range accs {
 		rg := a.Region
 		if a.Mode == ModeIn || a.Mode == ModeInOut {
 			rt.addDep(t, rg.lastWriter)
@@ -294,6 +337,8 @@ func (rt *Runtime) AddTask(name string, flops float64, accs []Access, body func(
 			}
 			rg.lastWriter = t.id
 			rg.readersSince = rg.readersSince[:0]
+			rg.writeSeq++
+			t.stamps[i] = rg.writeSeq
 		}
 		if a.Mode == ModeIn || a.Mode == ModeInOut {
 			rg.readersSince = append(rg.readersSince, t.id)
@@ -326,6 +371,11 @@ func (rt *Runtime) NumTasks() int { return len(rt.tasks) }
 
 // Stats returns the execution statistics (valid after Run).
 func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// CompletedAt returns the kernel cycle at which the last task finished
+// (valid after Run). With re-execution this is the convergence point:
+// it may precede the crashed device's rejoin.
+func (rt *Runtime) CompletedAt() sim.Cycles { return rt.doneCycle }
 
 // ExecOrder returns the task ids in completion order.
 func (rt *Runtime) ExecOrder() []int { return append([]int(nil), rt.execOrder...) }
@@ -445,8 +495,13 @@ func (rt *Runtime) worker(r *rcce.Rank) {
 	for rt.completed < len(rt.tasks) && !rt.failed {
 		id, stolen := rt.next(w)
 		if id < 0 {
-			// Idle: sleep until a store lands in our tile (a doorbell,
-			// or staging traffic) or the budget expires, then rescan.
+			// Idle: before napping, re-issue tasks stranded on lost
+			// devices (no-op unless Config.Reexec armed them).
+			if rt.reclaimLost(r, w) {
+				continue
+			}
+			// Sleep until a store lands in our tile (a doorbell, or
+			// staging traffic) or the budget expires, then rescan.
 			r.WaitAnyLocalChangeFor(backoff)
 			if backoff *= 2; backoff > rt.cfg.MaxPollCycles {
 				backoff = rt.cfg.MaxPollCycles
@@ -483,9 +538,26 @@ func (rt *Runtime) next(w int) (id int, stolen bool) {
 }
 
 // execute moves a task's inputs in, runs the body, publishes its
-// outputs and releases its successors.
+// outputs and releases its successors. Under re-execution a thawed
+// original may reach the end of its body after a re-issued copy already
+// finished the task; its commits dropped region by region (publish) and
+// the completion bookkeeping is skipped here.
 func (rt *Runtime) execute(r *rcce.Rank, w int, t *Task) {
 	if t.pending != 0 || t.state != taskReady {
+		if rt.cfg.Reexec && rt.cfg.Membership != nil && t.pending == 0 &&
+			(t.state == taskRunning || t.state == taskDone) {
+			// A stale duplicate: reclaim re-issued this task off a lost
+			// executor, but fail-fast waits keep a lost device's ranks
+			// running between chip operations, so the original can outrun
+			// its own reclaim and finish first (or still be in flight).
+			// The version stamps make duplicate execution harmless, and a
+			// duplicate that is not needed at all is dropped right here.
+			rt.stats.StalePops++
+			if sink := r.Sink(); sink.Enabled() {
+				sink.Add("taskrt.stale_pop", 1)
+			}
+			return
+		}
 		panic(fmt.Sprintf("taskrt: task %d %q dispatched while not ready (pending=%d state=%d)",
 			t.id, t.name, t.pending, t.state))
 	}
@@ -494,12 +566,51 @@ func (rt *Runtime) execute(r *rcce.Rank, w int, t *Task) {
 	rt.seq++
 	t.startSeq = rt.seq
 	start := r.Now()
-	rt.runBody(r, t)
+	for rt.tryBody(r, t) {
+		// A staging op toward a lost device was abandoned mid-task:
+		// re-run the body in place. Regions the first attempt already
+		// committed drop as late writes; a claimed-but-uncommitted
+		// region is taken over (publish), so the retry is exactly-once.
+		rt.stats.Abandons++
+		if sink := r.Sink(); sink.Enabled() {
+			sink.Add("taskrt.abandon", 1)
+		}
+	}
+	if t.state == taskDone {
+		// Lost the exactly-once race: a re-issued copy committed while
+		// this (stalled, now thawed) execution was still in flight.
+		return
+	}
 	rt.finish(r, t, w)
 	if sink := r.Sink(); sink.Enabled() {
 		sink.Span(sink.Track("taskrt", fmt.Sprintf("w%03d", w)), t.name, start, r.Now())
 	}
 	r.Sink().Add("taskrt.tasks", 1)
+}
+
+// tryBody runs the task body once, absorbing a device-loss panic when
+// re-execution is armed: under fail-fast waits (devretry=0) an in-flight
+// staging op toward a device that crashes unwinds here with
+// rcce.ErrDeviceLost, and the caller retries the body — by then the loss
+// is membership-visible, so the retry's staging re-homes onto survivors.
+// Reports whether a retry is needed. With Reexec off every panic
+// propagates, keeping the pre-existing failure semantics bytewise.
+func (rt *Runtime) tryBody(r *rcce.Rank, t *Task) (retry bool) {
+	if !rt.cfg.Reexec || rt.cfg.Membership == nil || r == nil {
+		rt.runBody(r, t)
+		return false
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if err, ok := rec.(error); ok && errors.Is(err, rcce.ErrDeviceLost) {
+				retry = true
+				return
+			}
+			panic(rec)
+		}
+	}()
+	rt.runBody(r, t)
+	return false
 }
 
 // runBody fetches inputs, charges the modelled flops, runs the body and
@@ -522,7 +633,7 @@ func (rt *Runtime) runBody(r *rcce.Rank, t *Task) {
 	}
 	for i, a := range t.accesses {
 		if a.Mode == ModeOut || a.Mode == ModeInOut {
-			rt.publish(r, a.Region, tc.bufs[i])
+			rt.publish(r, a.Region, tc.bufs[i], t.stamps[i])
 		}
 	}
 }
@@ -537,19 +648,105 @@ func (rt *Runtime) finish(r *rcce.Rank, t *Task, w int) {
 	rt.completed++
 	rt.stats.Tasks++
 	rt.execOrder = append(rt.execOrder, t.id)
+	// Release every successor before the first doorbell: the release
+	// loop must stay yield-free, or a device crash freezing this rank
+	// inside a doorbell Put would leave a done task with unreleased
+	// successors — invisible to reclaim, stalling re-execution until
+	// the rejoin.
+	var ring []int
 	for _, sid := range t.succs {
 		s := rt.tasks[sid]
 		if s.pending--; s.pending == 0 {
 			s.state = taskReady
 			rt.queues[s.home] = append(rt.queues[s.home], sid)
-			if r != nil && s.home != w {
-				// Doorbell: one line into the home worker's MPB wakes
-				// its WaitAnyLocalChangeFor nap early.
-				r.Put(s.home, doorbellOff, []byte{1})
-				rt.stats.Doorbells++
+			if r != nil && s.home != w && !rt.lostRank(r, s.home) {
+				ring = append(ring, s.home)
 			}
 		}
 	}
+	for _, home := range ring {
+		rt.ringDoorbell(r, home)
+	}
+	if rt.completed == len(rt.tasks) && r != nil {
+		rt.doneCycle = r.Now()
+	}
+}
+
+// ringDoorbell writes one line into the home worker's MPB to wake its
+// WaitAnyLocalChangeFor nap early. (A home already known lost gets no
+// doorbell at all — see finish.) Under re-execution the home's device
+// can still die mid-write: the abandoned doorbell is simply dropped —
+// survivors find the queued task on their next scan.
+func (rt *Runtime) ringDoorbell(r *rcce.Rank, home int) {
+	if rt.cfg.Reexec && rt.cfg.Membership != nil {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if err, ok := rec.(error); ok && errors.Is(err, rcce.ErrDeviceLost) {
+					return
+				}
+				panic(rec)
+			}
+		}()
+	}
+	r.Put(home, doorbellOff, []byte{1})
+	rt.stats.Doorbells++
+}
+
+// lostRank reports whether a rank's device is currently unreachable
+// under the re-execution policy (always false with Reexec off, so the
+// default configuration keeps its pre-existing code paths bytewise).
+func (rt *Runtime) lostRank(r *rcce.Rank, rank int) bool {
+	if !rt.cfg.Reexec || rt.cfg.Membership == nil || r == nil {
+		return false
+	}
+	return rt.cfg.Membership.Lost(r.Session().PlaceOf(rank).Dev)
+}
+
+// liveSubstitute picks the staging stand-in for a lost owner rank: the
+// first live rank scanning (owner+1, owner+2, ...) mod workers — a pure
+// function of membership state at the caller's cycle, so reruns pick
+// identically. With every peer lost the caller itself stages locally.
+func (rt *Runtime) liveSubstitute(r *rcce.Rank, owner int) int {
+	for i := 1; i < rt.workers; i++ {
+		sub := (owner + i) % rt.workers
+		if !rt.lostRank(r, sub) {
+			return sub
+		}
+	}
+	return r.ID()
+}
+
+// reclaimLost re-issues tasks stranded mid-execution on a lost device:
+// each is rolled back to ready and pushed onto the scanning worker's
+// own queue, to be re-run from the last committed region versions. The
+// original either froze with its device — it eventually thaws and
+// unwinds through the stamped commits, which drop its late writes — or
+// was never truly frozen (fail-fast waits keep lost-device ranks
+// running between chip operations) and finishes first, in which case
+// the duplicate queue entry is dropped at dispatch (execute). Scanning
+// in task-id order at the caller's cycle keeps reclaim deterministic; a
+// re-issued task whose new executor is lost too is simply reclaimed
+// again.
+func (rt *Runtime) reclaimLost(r *rcce.Rank, w int) bool {
+	if !rt.cfg.Reexec || rt.cfg.Membership == nil {
+		return false
+	}
+	found := false
+	for _, t := range rt.tasks {
+		if t.state != taskRunning || !rt.lostRank(r, t.executedBy) {
+			continue
+		}
+		dev := r.Session().PlaceOf(t.executedBy).Dev
+		t.state = taskReady
+		rt.queues[w] = append(rt.queues[w], t.id)
+		rt.stats.Reexecs++
+		if sink := r.Sink(); sink.Enabled() {
+			sink.Add("taskrt.reexec", 1)
+			sink.Add("taskrt.reexec.d"+strconv.Itoa(dev), 1)
+		}
+		found = true
+	}
+	return found
 }
 
 // fetch returns a private copy of a region's contents, charging the
@@ -561,11 +758,57 @@ func (rt *Runtime) fetch(r *rcce.Rank, rg *Region) []byte {
 }
 
 // publish stores a task's output buffer as the region's next version,
-// charging the movement into the owner's staging area when remote.
-func (rt *Runtime) publish(r *rcce.Rank, rg *Region, buf []byte) {
+// charging the movement into the owner's staging area when remote. The
+// stamp is the version this write is entitled to produce: a commit
+// finding the region already at (or past) its stamp was beaten by a
+// re-issued copy of the same task and drops — the exactly-once rule
+// that lets a thawed original resume harmlessly after a device loss.
+// Both executions compute the same bytes from the same committed
+// inputs, so even a partially-overlapping pair of commits converges.
+func (rt *Runtime) publish(r *rcce.Rank, rg *Region, buf []byte, stamp int) {
+	if rg.version >= stamp {
+		if rg.committed >= stamp {
+			rt.lateDrop(r)
+			return
+		}
+		// A twin execution claimed this version but stalled (froze with
+		// its device) before the bytes landed: take the commit over.
+		// Both executions computed the same bytes from the same
+		// committed inputs, so the takeover is byte-transparent.
+	} else {
+		if rg.version != stamp-1 {
+			panic(fmt.Sprintf("taskrt: region %q at version %d committed with stamp %d (dependence violation)",
+				rg.name, rg.version, stamp))
+		}
+		// Claim before the staging move yields: a twin reaching this
+		// point mid-move must not double-claim. No reader can observe
+		// the claimed-but-unwritten window — every reader of this
+		// version is a successor, released only after the task finishes.
+		rg.version = stamp
+	}
 	rt.move(r, rg, false)
+	if rg.committed >= stamp {
+		// The twin finished its copy while our move was in flight.
+		rt.lateDrop(r)
+		return
+	}
+	if rg.committed != stamp-1 {
+		panic(fmt.Sprintf("taskrt: region %q committed %d with stamp %d (dependence violation)",
+			rg.name, rg.committed, stamp))
+	}
 	copy(rg.data, buf)
-	rg.version++
+	rg.committed = stamp
+}
+
+// lateDrop counts a commit dropped by the exactly-once rule.
+func (rt *Runtime) lateDrop(r *rcce.Rank) {
+	rt.stats.LateDrops++
+	if r == nil {
+		return
+	}
+	if sink := r.Sink(); sink.Enabled() {
+		sink.Add("taskrt.late_drop", 1)
+	}
 }
 
 // move charges one region-granular transfer between the executing
@@ -618,13 +861,33 @@ func (rt *Runtime) move(r *rcce.Rank, rg *Region, read bool) {
 // MPB staging slot: a Get when reading, a Put of the region's current
 // contents when writing. The staged window is transport, not storage —
 // contents authoritative in private memory.
+//
+// Under the re-execution policy a chunk toward a lost owner re-homes to
+// the next live rank's staging slot. The check runs per chunk: a chunk
+// already on the wire when a device fault fires lands during the drain
+// window, and every later chunk routes around the outage instead of
+// parking until the rejoin.
 func (rt *Runtime) stage(r *rcce.Rank, rg *Region, read bool, n, slot int) {
+	owner := rg.owner
+	if rt.lostRank(r, owner) {
+		owner = rt.liveSubstitute(r, owner)
+		rt.stats.Rehomes++
+		if sink := r.Sink(); sink.Enabled() {
+			sink.Add("taskrt.rehome", 1)
+		}
+		if owner == r.ID() {
+			// Every peer is lost: the staging pass degenerates to a
+			// private-memory copy at the executing worker.
+			r.Ctx().CopyPrivate(n)
+			return
+		}
+	}
 	if read {
 		scratch := make([]byte, n)
-		r.Get(rg.owner, slot, scratch)
+		r.Get(owner, slot, scratch)
 		return
 	}
-	r.Put(rg.owner, slot, rg.data[:n])
+	r.Put(owner, slot, rg.data[:n])
 }
 
 func min(a, b int) int {

@@ -97,6 +97,14 @@ type devRecord struct {
 	// journal-replay totals for the replay.* counters.
 	img                 [][]byte
 	imgWrites, imgBytes int
+	// replaying is set from the moment the device leaves DevUp until its
+	// rejoin's journal replay has finished, so AfterReplay hooks
+	// registered anywhere in that window fire only once the restored
+	// memory is quiescent.
+	replaying bool
+	// afterReplay holds the one-shot hooks to run (in registration
+	// order) once the next rejoin's journal replay completes.
+	afterReplay []func()
 }
 
 // Membership is the device-level membership manager of a vSCC. It is
@@ -227,6 +235,14 @@ func (m *Membership) Lost(dev int) bool {
 // State returns the device's membership state (test hook).
 func (m *Membership) State(dev int) DevState { return m.devs[dev].state }
 
+// Quiesced reports whether the device is up with no rejoin replay in
+// flight — the condition under which its memory belongs entirely to the
+// current epoch and a supervisor may reclaim its cores.
+func (m *Membership) Quiesced(dev int) bool {
+	rec := m.devs[dev]
+	return rec.state == DevUp && !rec.replaying
+}
+
 // AwaitUp parks p until the device is back up. Used by the transparent
 // retry path (fault spec devretry=1).
 func (m *Membership) AwaitUp(p *sim.Proc, dev int) {
@@ -234,6 +250,23 @@ func (m *Membership) AwaitUp(p *sim.Proc, dev int) {
 	for rec.state != DevUp {
 		rec.up.Wait(p)
 	}
+}
+
+// AfterReplay registers a one-shot hook that runs once the device is
+// back up AND its rejoin journal replay has finished — the first point
+// at which the device's memory is quiescent, so a supervisor may tear
+// down and reuse the device's cores without replayed pre-crash frames
+// landing on top (the scheduler's devretry requeue path). A hook
+// registered while the device is up with no replay in flight runs as a
+// kernel event at the current cycle. Hooks run in registration order,
+// in kernel context.
+func (m *Membership) AfterReplay(dev int, fn func()) {
+	rec := m.devs[dev]
+	if rec.state == DevUp && !rec.replaying {
+		m.k.At(m.k.Now(), fn)
+		return
+	}
+	rec.afterReplay = append(rec.afterReplay, fn)
 }
 
 // checkpoint takes one periodic snapshot of an up device. A draining or
@@ -272,6 +305,7 @@ func (m *Membership) fail(df fault.DeviceFault, wipe bool) {
 	}
 	m.inj.RecordInjection(kind, "vscc.device", d)
 	rec.state = DevDraining
+	rec.replaying = true // until the rejoin replay completes
 	if wipe {
 		// Cores freeze at their next memory operation; a link-down
 		// leaves them computing on intact local memory.
@@ -329,5 +363,11 @@ func (m *Membership) rejoinDev(d int, wipe bool) {
 		frames, bytes := m.fabric.ReplayDevice(p, d)
 		m.count("replay.frames", d, int64(frames))
 		m.count("replay.frame_bytes", d, int64(bytes))
+		rec.replaying = false
+		hooks := rec.afterReplay
+		rec.afterReplay = nil
+		for _, fn := range hooks {
+			fn()
+		}
 	})
 }

@@ -166,6 +166,110 @@ func TestMembershipVoidOverlap(t *testing.T) {
 	}
 }
 
+// TestMembershipBackToBackCrash drives two real outages of the same
+// device separated only by the rejoin, with a third schedule entry
+// landing mid-drain. The mid-drain fault must be void (no second drain
+// restart, no injection); the post-rejoin fault is a genuine second
+// crash — it may land while the rejoin journal replay is still in
+// flight and must run a full second lifecycle with its own epoch
+// advance. The workload survives both outages transparently.
+func TestMembershipBackToBackCrash(t *testing.T) {
+	const (
+		firstAt  = sim.Cycles(100_000)
+		firstDur = sim.Cycles(300_000) // down 150k..450k
+		midDrain = sim.Cycles(120_000) // inside 100k..150k: void
+		secondAt = sim.Cycles(460_000) // 10k after the rejoin
+		secondD  = sim.Cycles(300_000) // down 510k..810k
+	)
+	k := sim.NewKernel()
+	sys, err := NewSystem(k, Config{
+		Devices: 2,
+		Scheme:  SchemeCachedGet,
+		Faults: &fault.Config{
+			Seed: 1,
+			DevCrashAt: []fault.DeviceFault{
+				{At: firstAt, Dev: 1, Down: firstDur},
+				{At: midDrain, Dev: 1, Down: firstDur},
+				{At: secondAt, Dev: 1, Down: secondD},
+			},
+			Recovery: fault.Recovery{DeviceRetry: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Membership
+
+	type sample struct {
+		at    sim.Cycles
+		state DevState
+		epoch uint8
+	}
+	var got []sample
+	probe := func(at sim.Cycles) {
+		k.At(at, func() { got = append(got, sample{at, m.State(1), m.Epoch(1)}) })
+	}
+	probe(midDrain + 10_000) // still the FIRST drain; the void fault must not restart it
+	probe(firstAt + fault.DefaultDrainCycles + 1)
+	probe(secondAt + 1) // second crash accepted: draining again
+	probe(secondAt + fault.DefaultDrainCycles + 1)
+	probe(secondAt + fault.DefaultDrainCycles + secondD + 1)
+
+	session, err := sys.NewSessionAt([]rcce.Place{{Dev: 0, Core: 0}, {Dev: 1, Core: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = session.Run(func(r *rcce.Rank) {
+		buf := make([]byte, 4096)
+		for rep := 0; rep < 24; rep++ {
+			if r.ID() == 0 {
+				if err := r.Send(1, buf); err != nil {
+					panic(err)
+				}
+				if err := r.Recv(1, buf); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := r.Recv(0, buf); err != nil {
+					panic(err)
+				}
+				if err := r.Send(0, buf); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run did not survive back-to-back crashes: %v", err)
+	}
+
+	want := []sample{
+		{midDrain + 10_000, DevDraining, 0},
+		{firstAt + fault.DefaultDrainCycles + 1, DevDown, 1},
+		{secondAt + 1, DevDraining, 1},
+		{secondAt + fault.DefaultDrainCycles + 1, DevDown, 2},
+		{secondAt + fault.DefaultDrainCycles + secondD + 1, DevUp, 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sampled %d probes, want %d (run too short?)", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("probe %d at cycle %d: got {state=%v epoch=%d}, want {state=%v epoch=%d}",
+				i, w.at, got[i].state, got[i].epoch, w.state, w.epoch)
+		}
+	}
+	if got := sys.Injector.Stat("inject.devcrash"); got != 2 {
+		t.Errorf("inject.devcrash = %d, want 2 (mid-drain fault must be void)", got)
+	}
+	if got := sys.Injector.Stat("recover.rejoin"); got != 2 {
+		t.Errorf("recover.rejoin = %d, want 2", got)
+	}
+	if ep := sys.Membership.Epoch(1); ep != 2 {
+		t.Errorf("final epoch = %d, want 2", ep)
+	}
+}
+
 // TestMembershipNotBuiltWithoutDeviceFaults pins the arming condition:
 // a fault config without device faults must leave Membership nil, so
 // every non-device-fault run keeps its byte-identical code paths.
